@@ -1,0 +1,266 @@
+(* Benchmark harness: regenerates every figure/table of the paper.
+
+   For each figure: verify the match decision, verify result equivalence of
+   the rewritten query, and time original vs. rewritten execution — one
+   Bechamel Test.make per figure (plus the PERF rows of DESIGN.md). The
+   ablation section re-runs the match decisions with individual design
+   features disabled.
+
+     dune exec bench/main.exe                (scale 1, ~60k fact rows)
+     ASTRW_SCALE=4 dune exec bench/main.exe  (bigger) *)
+
+module R = Data.Relation
+module W = Workload.Star_schema
+
+let scale =
+  match Sys.getenv_opt "ASTRW_SCALE" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+  | None -> 1
+
+let build cat sql = Qgm.Builder.build cat (Sqlsyn.Parser.parse_query sql)
+
+type prepared = {
+  p_case : Workload.Paper_queries.case;
+  p_query : Qgm.Graph.t;
+  p_rewritten : Qgm.Graph.t option;  (* None: no match (expected for some) *)
+  p_db : Engine.Db.t;
+}
+
+let prepare db (c : Workload.Paper_queries.case) =
+  let cat = Engine.Db.catalog db in
+  let qg = build cat c.query in
+  let ag = build cat c.ast in
+  let mv_rel = Engine.Exec.run db ag in
+  let cols = Qgm.Typing.infer_outputs cat ag in
+  let cat2 =
+    if Catalog.mem_table cat c.ast_name then cat
+    else
+      Catalog.add_table cat
+        {
+          Catalog.tbl_name = c.ast_name;
+          tbl_cols =
+            List.map
+              (fun (n, ty) ->
+                { Catalog.col_name = n; col_ty = ty; nullable = true })
+              cols;
+          primary_key = [];
+          unique_keys = [];
+          foreign_keys = [];
+        }
+  in
+  let db = Engine.Db.put (Engine.Db.with_catalog db cat2) c.ast_name mv_rel in
+  let cat2 = Engine.Db.catalog db in
+  let rewritten =
+    match Astmatch.Navigator.find_matches cat2 ~query:qg ~ast:ag with
+    | [] -> None
+    | sites ->
+        (* replace the highest matched box (fewest remaining operators) *)
+        let { Astmatch.Navigator.site_box; site_result } =
+          List.nth sites (List.length sites - 1)
+        in
+        Some
+          (Astmatch.Rewrite.apply ~query:qg ~target:site_box
+             ~result:site_result ~mv_table:c.ast_name
+             ~mv_cols:(Array.to_list (R.columns mv_rel)))
+  in
+  (db, { p_case = c; p_query = qg; p_rewritten = rewritten; p_db = db })
+
+let time_ms f =
+  (* median of five *)
+  let runs =
+    List.init 5 (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  List.nth (List.sort compare runs) 2
+
+let () =
+  Printf.printf "=== astrw bench: scale %d ===\n%!" scale;
+  let params = W.scaled scale in
+  let tables = W.generate params in
+  let db0 = Engine.Db.of_tables (W.catalog ()) tables in
+  Printf.printf "Trans rows: %d\n\n%!"
+    (R.cardinality (List.assoc "Trans" tables));
+
+  (* ---------------- per-figure verification + timing ---------------- *)
+  let _, prepared =
+    List.fold_left
+      (fun (db, acc) c ->
+        let db, p = prepare db c in
+        (db, acc @ [ p ]))
+      (db0, []) Workload.Paper_queries.cases
+  in
+  Printf.printf "%-10s %-14s %-9s %-7s %10s %10s %9s\n" "figure" "case"
+    "rewrite" "correct" "orig(ms)" "mv(ms)" "speedup";
+  let fails = ref 0 in
+  List.iter
+    (fun p ->
+      let c = p.p_case in
+      match p.p_rewritten with
+      | None ->
+          if c.Workload.Paper_queries.expect_rewrite then incr fails;
+          Printf.printf "%-10s %-14s %-9s %-7s %10s %10s %9s\n" c.fig c.name
+            (if c.expect_rewrite then "MISSING!" else "no (ok)")
+            "-" "-" "-" "-"
+      | Some g' ->
+          if not c.Workload.Paper_queries.expect_rewrite then incr fails;
+          let orig = Engine.Exec.run p.p_db p.p_query in
+          let via = Engine.Exec.run p.p_db g' in
+          let correct = R.bag_equal_approx orig via in
+          if not correct then incr fails;
+          let t_orig = time_ms (fun () -> Engine.Exec.run p.p_db p.p_query) in
+          let t_mv = time_ms (fun () -> Engine.Exec.run p.p_db g') in
+          Printf.printf "%-10s %-14s %-9s %-7s %10.2f %10.2f %8.1fx\n" c.fig
+            c.name
+            (if c.expect_rewrite then "yes" else "UNEXPECTED")
+            (if correct then "yes" else "NO")
+            t_orig t_mv (t_orig /. t_mv))
+    prepared;
+  Printf.printf "\nverification failures: %d\n\n%!" !fails;
+
+  (* ---------------- PERF1: the 100x size claim (section 1.1) -------- *)
+  Printf.printf "=== PERF1: summary-table size ratio (paper: about 100x) ===\n";
+  Printf.printf "%-6s %12s %12s %8s\n" "scale" "Trans" "AST1" "ratio";
+  List.iter
+    (fun s ->
+      let tables = W.generate (W.scaled s) in
+      let db = Engine.Db.of_tables (W.catalog ()) tables in
+      let ag = build (Engine.Db.catalog db) Workload.Paper_queries.ast1 in
+      let mv = Engine.Exec.run db ag in
+      let nt = R.cardinality (List.assoc "Trans" tables) in
+      let na = R.cardinality mv in
+      Printf.printf "%-6d %12d %12d %7.1fx\n" s nt na
+        (float_of_int nt /. float_of_int na))
+    [ 1; 2; 4 ];
+  print_newline ();
+
+  (* ---------------- PERF3: workload-level speedup (section 8) -------- *)
+  Printf.printf
+    "=== PERF3: decision-support workload, 3 summary tables (section 8) ===\n";
+  let sn =
+    Mvstore.Session.of_tables (W.catalog ()) tables
+  in
+  List.iter
+    (fun (name, sql) ->
+      ignore
+        (Mvstore.Session.exec_sql sn
+           (Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" name sql)))
+    Workload.Decision_support.summary_tables;
+  Printf.printf "%-24s %10s %10s %9s  %s\n" "query" "base(ms)" "mv(ms)"
+    "speedup" "routed via";
+  let tot_base = ref 0. and tot_mv = ref 0. in
+  List.iter
+    (fun (q : Workload.Decision_support.query) ->
+      let parsed = Sqlsyn.Parser.parse_query q.dq_sql in
+      Mvstore.Session.set_rewrite sn false;
+      let t_base =
+        time_ms (fun () -> fst (Mvstore.Session.run_query sn parsed))
+      in
+      Mvstore.Session.set_rewrite sn true;
+      let routed = ref "(base tables)" in
+      let t_mv =
+        time_ms (fun () ->
+            let _, steps = Mvstore.Session.run_query sn parsed in
+            (match steps with
+            | s :: _ -> routed := s.Astmatch.Rewrite.used_mv
+            | [] -> ());
+            ())
+      in
+      tot_base := !tot_base +. t_base;
+      tot_mv := !tot_mv +. t_mv;
+      Printf.printf "%-24s %10.1f %10.1f %8.1fx  %s\n" q.dq_name t_base t_mv
+        (t_base /. t_mv) !routed)
+    Workload.Decision_support.queries;
+  Printf.printf "%-24s %10.1f %10.1f %8.1fx\n" "TOTAL" !tot_base !tot_mv
+    (!tot_base /. !tot_mv);
+  print_newline ();
+
+  (* ---------------- ablations (DESIGN.md section 5) ------------------ *)
+  Printf.printf
+    "=== ablations: figure rewrites surviving with a feature off ===\n";
+  let positive =
+    List.filter
+      (fun (c : Workload.Paper_queries.case) -> c.expect_rewrite)
+      Workload.Paper_queries.cases
+  in
+  let decide () =
+    (* cheap decision run on a small database *)
+    let tables =
+      W.generate { W.default_params with n_custs = 2; trans_per_acct_year = 10 }
+    in
+    let db = Engine.Db.of_tables (W.catalog ()) tables in
+    List.map
+      (fun (c : Workload.Paper_queries.case) ->
+        let cat = Engine.Db.catalog db in
+        let qg = build cat c.query in
+        let ag = build cat c.ast in
+        (c.name, Astmatch.Navigator.find_matches cat ~query:qg ~ast:ag <> []))
+      positive
+  in
+  let baseline = decide () in
+  let ablations =
+    [
+      ("equivalence classes", Astmatch.Config.equivalence_classes);
+      ("predicate subsumption", Astmatch.Config.predicate_subsumption);
+      ("greedy derivation", Astmatch.Config.greedy_derivation);
+      ("smallest cuboid", Astmatch.Config.smallest_cuboid);
+    ]
+  in
+  Printf.printf "%-24s %9s   lost rewrites\n" "feature disabled" "matches";
+  Printf.printf "%-24s %6d/%d\n" "(none: baseline)"
+    (List.length (List.filter snd baseline))
+    (List.length baseline);
+  List.iter
+    (fun (label, switch) ->
+      let rows = Astmatch.Config.without switch decide in
+      let lost =
+        List.filter_map
+          (fun ((name, ok), (_, ok0)) ->
+            if ok0 && not ok then Some name else None)
+          (List.combine rows baseline)
+      in
+      Printf.printf "%-24s %6d/%d   %s\n" label
+        (List.length (List.filter snd rows))
+        (List.length rows)
+        (String.concat ", " lost))
+    ablations;
+  print_newline ();
+
+  (* ---------------- bechamel: one Test.make per figure --------------- *)
+  Printf.printf "=== bechamel timings (monotonic clock, ns/run) ===\n%!";
+  let open Bechamel in
+  let tests =
+    List.concat_map
+      (fun p ->
+        match p.p_rewritten with
+        | None -> []
+        | Some g' ->
+            [
+              Test.make
+                ~name:(p.p_case.Workload.Paper_queries.name ^ "/original")
+                (Staged.stage (fun () -> Engine.Exec.run p.p_db p.p_query));
+              Test.make
+                ~name:(p.p_case.Workload.Paper_queries.name ^ "/rewritten")
+                (Staged.stage (fun () -> Engine.Exec.run p.p_db g'));
+            ])
+      prepared
+  in
+  let grouped = Test.make_grouped ~name:"figures" ~fmt:"%s %s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "%-40s %14s\n" name "n/a")
+    (List.sort compare rows);
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,157 @@
+(* astql — interactive shell / script runner for the summary-table rewriter.
+
+   Subcommands:
+     astql run FILE...      execute SQL scripts (DDL, DML, summary tables,
+                            queries, EXPLAIN REWRITE)
+     astql repl             interactive shell (empty database)
+     astql demo             interactive shell preloaded with the paper's
+                            star schema and generated data
+     astql advise FILE      recommend summary tables for a query workload *)
+
+let print_outcome = function
+  | Mvstore.Session.Msg m -> print_endline m
+  | Mvstore.Session.Table rel ->
+      print_endline (Data.Relation.to_string rel)
+  | Mvstore.Session.Plan p -> print_string p
+
+(* Execute statements one at a time, printing each outcome as it happens,
+   so output (and effects) of statements before a failure are preserved.
+   Returns false when anything failed. *)
+let exec_text session text =
+  match Sqlsyn.Parser.script_start text with
+  | exception Sqlsyn.Lexer.Lex_error (m, p) ->
+      Printf.printf "lexical error at offset %d: %s\n" p m;
+      false
+  | cursor ->
+      let rec loop ok =
+        match Sqlsyn.Parser.script_next cursor with
+        | None -> ok
+        | exception Sqlsyn.Parser.Parse_error (m, p) ->
+            Printf.printf "parse error at offset %d: %s\n" p m;
+            false
+        | exception Sqlsyn.Lexer.Lex_error (m, p) ->
+            Printf.printf "lexical error at offset %d: %s\n" p m;
+            false
+        | Some stmt -> (
+            match print_outcome (Mvstore.Session.exec_stmt session stmt) with
+            | () -> loop ok
+            | exception Mvstore.Session.Session_error m ->
+                Printf.printf "error: %s\n" m;
+                loop false
+            | exception Engine.Exec.Exec_error m ->
+                Printf.printf "execution error: %s\n" m;
+                loop false
+            | exception Engine.Eval.Eval_error m ->
+                Printf.printf "evaluation error: %s\n" m;
+                loop false)
+      in
+      loop true
+
+let repl session =
+  print_endline "astql — type SQL statements ending with ';'  (\\q to quit)";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "astql> " else "   ...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if trimmed = "\\q" || trimmed = "quit" then ()
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if String.contains line ';' then begin
+            let text = Buffer.contents buf in
+            Buffer.clear buf;
+            ignore (exec_text session text)
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+let make_session ~rewrite ~demo ~scale =
+  if demo then begin
+    let params = Workload.Star_schema.scaled scale in
+    let tables = Workload.Star_schema.generate params in
+    let session =
+      Mvstore.Session.of_tables ~rewrite (Workload.Star_schema.catalog ()) tables
+    in
+    Printf.printf "loaded star schema (%d transactions)\n"
+      (Data.Relation.cardinality (List.assoc "Trans" tables));
+    session
+  end
+  else Mvstore.Session.create ~rewrite ()
+
+open Cmdliner
+
+let rewrite_flag =
+  let doc = "Disable transparent summary-table rewriting." in
+  Arg.(value & flag & info [ "no-rewrite" ] ~doc)
+
+let scale_arg =
+  let doc = "Demo data scale factor." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc)
+
+let files_arg =
+  Arg.(value & pos_all non_dir_file [] & info [] ~docv:"FILE")
+
+let run_cmd =
+  let doc = "Execute SQL script files." in
+  let run no_rewrite files =
+    let session = make_session ~rewrite:(not no_rewrite) ~demo:false ~scale:1 in
+    let ok =
+      List.fold_left
+        (fun ok f ->
+          exec_text session (In_channel.with_open_text f In_channel.input_all)
+          && ok)
+        true files
+    in
+    if not ok then Stdlib.exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ rewrite_flag $ files_arg)
+
+let repl_cmd =
+  let doc = "Interactive shell over an empty database." in
+  let run no_rewrite = repl (make_session ~rewrite:(not no_rewrite) ~demo:false ~scale:1) in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ rewrite_flag)
+
+let demo_cmd =
+  let doc = "Interactive shell preloaded with the paper's star schema." in
+  let run no_rewrite scale =
+    repl (make_session ~rewrite:(not no_rewrite) ~demo:true ~scale)
+  in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ rewrite_flag $ scale_arg)
+
+let advise_cmd =
+  let doc =
+    "Recommend summary tables for a workload (one SELECT per statement)."
+  in
+  let run files =
+    let queries =
+      List.concat_map
+        (fun f ->
+          In_channel.with_open_text f In_channel.input_all
+          |> String.split_on_char ';'
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> ""))
+        files
+    in
+    let recs = Mvstore.Advisor.recommend Catalog.empty queries in
+    if recs = [] then print_endline "no recommendations (no aggregate queries found)"
+    else
+      List.iter
+        (fun (r : Mvstore.Advisor.recommendation) ->
+          Printf.printf "-- serves %d workload quer%s\n"
+            (List.length r.rec_serves)
+            (if List.length r.rec_serves = 1 then "y" else "ies");
+          Printf.printf "CREATE SUMMARY TABLE %s AS %s;\n\n" r.rec_name r.rec_sql)
+        recs
+  in
+  Cmd.v (Cmd.info "advise" ~doc) Term.(const run $ files_arg)
+
+let () =
+  let doc = "answering complex SQL queries using automatic summary tables" in
+  let info = Cmd.info "astql" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; repl_cmd; demo_cmd; advise_cmd ]))

@@ -1,0 +1,1 @@
+examples/advisor_demo.ml: Astmatch Engine List Mvstore Printf Sqlsyn String Workload

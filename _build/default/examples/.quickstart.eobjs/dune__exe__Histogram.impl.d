@@ -1,0 +1,1 @@
+examples/histogram.ml: Data List Mvstore Printf Sqlsyn Workload

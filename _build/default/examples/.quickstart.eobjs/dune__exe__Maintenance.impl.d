@@ -1,0 +1,1 @@
+examples/maintenance.ml: Astmatch Data List Mvstore Printf Sqlsyn String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Astmatch Data List Mvstore Printf Sqlsyn Unix Workload

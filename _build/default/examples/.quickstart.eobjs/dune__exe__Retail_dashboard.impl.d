@@ -1,0 +1,1 @@
+examples/retail_dashboard.ml: Astmatch Data List Mvstore Printf Sqlsyn Unix Workload

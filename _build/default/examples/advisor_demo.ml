@@ -1,0 +1,54 @@
+(* Workload-driven summary-table advice (the paper's problem (a)).
+
+   Give the advisor a mixed workload; it clusters queries by join core,
+   unions their grouping needs, and proposes CREATE SUMMARY TABLE
+   statements. Creating the recommendation makes the whole cluster
+   rewritable.
+
+     dune exec examples/advisor_demo.exe *)
+
+let () =
+  let tables = Workload.Star_schema.generate Workload.Star_schema.default_params in
+  let session =
+    Mvstore.Session.of_tables (Workload.Star_schema.catalog ()) tables
+  in
+  let workload =
+    [
+      "SELECT year(date) AS year, COUNT(*) AS cnt FROM Trans GROUP BY year(date)";
+      "SELECT flid, year(date) AS year, SUM(qty * price) AS rev FROM Trans \
+       GROUP BY flid, year(date)";
+      "SELECT flid, COUNT(*) AS cnt FROM Trans WHERE month(date) >= 6 GROUP BY flid";
+      "SELECT state, COUNT(*) AS cnt FROM Trans, Loc WHERE flid = lid \
+       GROUP BY state";
+    ]
+  in
+  let recs =
+    Mvstore.Advisor.recommend
+      (Engine.Db.catalog (Mvstore.Session.db session))
+      workload
+  in
+  List.iter
+    (fun (r : Mvstore.Advisor.recommendation) ->
+      Printf.printf "-- serves %d queries\nCREATE SUMMARY TABLE %s AS\n  %s;\n\n"
+        (List.length r.rec_serves) r.rec_name r.rec_sql)
+    recs;
+
+  (* create them and check the workload routes through them *)
+  List.iter
+    (fun (r : Mvstore.Advisor.recommendation) ->
+      List.iter
+        (function Mvstore.Session.Msg m -> print_endline m | _ -> ())
+        (Mvstore.Session.exec_sql session
+           (Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" r.rec_name r.rec_sql)))
+    recs;
+  print_newline ();
+  List.iter
+    (fun sql ->
+      let q = Sqlsyn.Parser.parse_query sql in
+      let _, steps = Mvstore.Session.run_query session q in
+      Printf.printf "%-70s -> %s\n"
+        (String.sub sql 0 (min 70 (String.length sql)))
+        (match steps with
+        | s :: _ -> s.Astmatch.Rewrite.used_mv
+        | [] -> "(base tables)"))
+    workload

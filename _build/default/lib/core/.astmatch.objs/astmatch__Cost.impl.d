@@ -1,0 +1,1 @@
+lib/core/cost.ml: Buffer Catalog Data Float Format Hashtbl List Printf Qgm String

@@ -1,0 +1,1 @@
+lib/core/derive.ml: Config Data Equiv List Mtypes Option Qgm String

@@ -1,0 +1,1 @@
+lib/core/mctx.ml: Buffer Catalog Format Hashtbl Mtypes Qgm String

@@ -1,0 +1,1 @@
+lib/core/mtypes.ml: Format List Qgm String

@@ -1,0 +1,1 @@
+lib/core/navigator.ml: List Mctx Mtypes Patterns Qgm String

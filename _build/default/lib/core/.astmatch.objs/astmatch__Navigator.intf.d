@@ -1,0 +1,1 @@
+lib/core/navigator.mli: Buffer Catalog Mtypes Qgm

@@ -1,0 +1,1 @@
+lib/core/patterns.ml: Catalog Config Data Derive Equiv Format Hashtbl List Mctx Mtypes Option Printf Props Qgm String Subsume Translate

@@ -1,0 +1,1 @@
+lib/core/patterns.mli: Mctx Mtypes Qgm

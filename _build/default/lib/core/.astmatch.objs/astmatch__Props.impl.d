@@ -1,0 +1,1 @@
+lib/core/props.ml: Catalog Data List Qgm String

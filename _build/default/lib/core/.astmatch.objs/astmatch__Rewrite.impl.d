@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Cost List Mtypes Navigator Printf Qgm

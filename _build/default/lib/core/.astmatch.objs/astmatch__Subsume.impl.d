@@ -1,0 +1,1 @@
+lib/core/subsume.ml: Data Qgm

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Equiv List Mctx Mtypes Option Qgm String

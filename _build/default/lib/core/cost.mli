@@ -1,0 +1,21 @@
+(** Cardinality and cost estimation over QGM graphs.
+
+    A textbook System-R-style mini model: base cardinalities and per-column
+    distinct counts come from catalog statistics; equality predicates
+    contribute [1/ndv] selectivities, ranges a fixed fraction; GROUP BY
+    output is bounded by the product of key distinct counts. The paper's
+    "whether an AST should actually be used" decision (its problem (b),
+    deferred to [2]) is taken by comparing {!graph_cost} of the original and
+    rewritten graphs. *)
+
+(** Estimated output rows of a box. *)
+val box_rows : Catalog.t -> Qgm.Graph.t -> Qgm.Box.box_id -> float
+
+(** Estimated total work of the graph: the sum over all reachable boxes of
+    the rows they consume. For plain scans this degenerates to rows-scanned,
+    which keeps the number comparable with intuition. *)
+val graph_cost : Catalog.t -> Qgm.Graph.t -> float
+
+(** Render the graph as an indented operator tree annotated with estimated
+    cardinalities (the EXPLAIN output). *)
+val explain : Catalog.t -> Qgm.Graph.t -> string

@@ -1,0 +1,57 @@
+(* Union-find with path compression over an association list universe.
+   Universes are tiny (a box's input columns), so simplicity wins. *)
+
+type 'r t = { mutable parent : ('r * 'r) list }
+
+let of_equalities eqs =
+  let t = { parent = [] } in
+  let rec find t x =
+    match List.assoc_opt x t.parent with
+    | None -> x
+    | Some p when p = x -> x
+    | Some p ->
+        let root = find t p in
+        t.parent <- (x, root) :: List.remove_assoc x t.parent;
+        root
+  in
+  let union x y =
+    let rx = find t x and ry = find t y in
+    if rx <> ry then begin
+      (* deterministic representative: smaller by polymorphic compare *)
+      let lo, hi = if compare rx ry <= 0 then (rx, ry) else (ry, rx) in
+      t.parent <- (hi, lo) :: List.remove_assoc hi t.parent;
+      if List.assoc_opt lo t.parent = None then
+        t.parent <- (lo, lo) :: t.parent
+    end
+  in
+  List.iter (fun (a, b) -> union a b) eqs;
+  t
+
+let of_preds preds =
+  let eqs =
+    List.filter_map
+      (fun p ->
+        match p with
+        | Qgm.Expr.Binop ("=", Qgm.Expr.Col a, Qgm.Expr.Col b) -> Some (a, b)
+        | _ -> None)
+      preds
+  in
+  of_equalities eqs
+
+let rec repr t x =
+  match List.assoc_opt x t.parent with
+  | None -> x
+  | Some p when p = x -> x
+  | Some p -> repr t p
+
+let canon t e = Qgm.Expr.map_col (repr t) e
+let same t a b = repr t a = repr t b
+
+let members t x =
+  let rx = repr t x in
+  let known =
+    List.filter_map
+      (fun (m, _) -> if repr t m = rx then Some m else None)
+      t.parent
+  in
+  if List.mem x known then known else x :: known

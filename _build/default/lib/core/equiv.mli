@@ -1,0 +1,29 @@
+(** Column-equivalence classes induced by equality predicates.
+
+    Inside a SELECT box, a predicate [Col a = Col b] makes the two input
+    columns interchangeable for matching purposes (the paper's Q2 example:
+    [aid] is derivable from [faid] because of the [faid = aid] join
+    predicate). The matcher canonicalizes every column reference to its
+    class representative before structural comparison.
+
+    The structure is generic in the reference type so it works over both
+    subsumer QNCs ({!Qgm.Box.qref}) and compensation references
+    ({!Mtypes.cref}). *)
+
+type 'r t
+
+(** [of_equalities refs eqs] builds classes from [(a, b)] equal pairs. *)
+val of_equalities : ('r * 'r) list -> 'r t
+
+(** Extract [Col a = Col b] pairs from a predicate list and build classes. *)
+val of_preds : 'c Qgm.Expr.t list -> 'c t
+
+val repr : 'r t -> 'r -> 'r
+
+(** Canonicalize every column reference in an expression. *)
+val canon : 'r t -> 'r Qgm.Expr.t -> 'r Qgm.Expr.t
+
+val same : 'r t -> 'r -> 'r -> bool
+
+(** All known members of [r]'s class (including [r] itself if known). *)
+val members : 'r t -> 'r -> 'r list

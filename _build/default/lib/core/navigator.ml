@@ -1,0 +1,32 @@
+type site = { site_box : Qgm.Box.box_id; site_result : Mtypes.result }
+
+(* Since derivation of output columns is lazy (section 6), an interior
+   match may legitimately cover only part of a box's outputs — but a match
+   that is to REPLACE a box must reproduce every output column. *)
+let covers_outputs g e_id (res : Mtypes.result) =
+  let norm = String.lowercase_ascii in
+  let wanted =
+    List.map norm (Qgm.Box.output_cols (Qgm.Graph.box g e_id))
+  in
+  let produced =
+    match res with
+    | Mtypes.Exact cmap -> List.map (fun (n, _) -> norm n) cmap
+    | Mtypes.Comp [] -> []
+    | Mtypes.Comp levels ->
+        List.map norm (Mtypes.level_outs (List.nth levels (List.length levels - 1)))
+  in
+  List.for_all (fun c -> List.mem c produced) wanted
+
+let find_matches ?trace cat ~query ~ast =
+  let ctx = Mctx.create ?trace cat ~query ~ast in
+  let r_root = Qgm.Graph.root ast in
+  let boxes = Qgm.Graph.reachable query (Qgm.Graph.root query) in
+  List.filter_map
+    (fun e_id ->
+      match Patterns.match_boxes ctx e_id r_root with
+      | Some res when covers_outputs query e_id res ->
+          Some { site_box = e_id; site_result = res }
+      | Some _ | None -> None)
+    boxes
+
+let matches cat ~query ~ast = find_matches cat ~query ~ast <> []

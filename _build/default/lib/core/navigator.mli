@@ -1,0 +1,22 @@
+(** The navigator (paper section 3): drives the match function bottom-up
+    over the query and AST graphs until the AST root is matched with one or
+    more query boxes.
+
+    The implementation realizes the bottom-up discipline through memoized
+    recursion: judging a pair first judges all child pair combinations, so
+    the set of visited pairs and their ordering coincide with the paper's
+    worklist formulation. *)
+
+type site = {
+  site_box : Qgm.Box.box_id;       (** matched query (subsumee) box *)
+  site_result : Mtypes.result;     (** compensation against the AST root *)
+}
+
+(** All query boxes that match the AST's root box. When [trace] is given,
+    human-readable rejection reasons are appended to it (diagnostics for
+    EXPLAIN REWRITE). *)
+val find_matches :
+  ?trace:Buffer.t -> Catalog.t -> query:Qgm.Graph.t -> ast:Qgm.Graph.t -> site list
+
+(** Convenience: does any query box match the AST root? *)
+val matches : Catalog.t -> query:Qgm.Graph.t -> ast:Qgm.Graph.t -> bool

@@ -1,0 +1,39 @@
+(** Query rewriting: materializing a match as a new QGM graph, and routing a
+    query across the registered summary tables.
+
+    The subsumee box is replaced in place: its body becomes the top of the
+    compensation stack, whose leaf is a scan of the materialized summary
+    table; rejoined children keep pointing at the original query subgraph.
+    Parents (and the root/presentation) are untouched because the box keeps
+    its identity and its output columns. *)
+
+type mv = {
+  mv_name : string;          (** table name under which the AST is stored *)
+  mv_graph : Qgm.Graph.t;    (** the AST's defining query *)
+}
+
+type step = {
+  used_mv : string;
+  target : Qgm.Box.box_id;
+  exact : bool;              (** empty compensation *)
+}
+
+(** [apply ~query ~target ~result ~mv_table ~mv_cols] builds the rewritten
+    graph for one match. [mv_cols] are the stored table's columns (the AST
+    root's outputs). *)
+val apply :
+  query:Qgm.Graph.t ->
+  target:Qgm.Box.box_id ->
+  result:Mtypes.result ->
+  mv_table:string ->
+  mv_cols:string list ->
+  Qgm.Graph.t
+
+(** [best ~cat query mvs] routes [query] through the available summary
+    tables: among all matches of all ASTs, repeatedly applies the one with
+    the lowest {!Cost.graph_cost} while it strictly improves on the current
+    graph (the iterative multi-AST process of section 7; the same AST may
+    answer several query blocks). Returns the rewritten graph and the
+    applied steps; [None] when no AST matches or no rewrite is cheaper. *)
+val best :
+  cat:Catalog.t -> Qgm.Graph.t -> mv list -> (Qgm.Graph.t * step list) option

@@ -1,0 +1,26 @@
+module E = Qgm.Expr
+module V = Data.Value
+
+(* After E.normalize, [>] and [>=] have been flipped into [<] / [<=], so a
+   comparison is [lhs OP rhs]. We handle the constant-vs-expression cases. *)
+let bounds e =
+  match e with
+  | E.Binop ("<", E.Const c, x) -> Some (`Lower (x, c, `Open))   (* c < x *)
+  | E.Binop ("<=", E.Const c, x) -> Some (`Lower (x, c, `Closed))
+  | E.Binop ("<", x, E.Const c) -> Some (`Upper (x, c, `Open))   (* x < c *)
+  | E.Binop ("<=", x, E.Const c) -> Some (`Upper (x, c, `Closed))
+  | _ -> None
+
+let subsumes ~weak ~strong =
+  let weak = E.normalize weak and strong = E.normalize strong in
+  if weak = strong then true
+  else
+    match (bounds weak, bounds strong) with
+    | Some (`Lower (x, c1, k1)), Some (`Lower (y, c2, k2)) when x = y ->
+        (* c1 < x subsumes c2 < x iff c1 <= c2 (strictness permitting) *)
+        let c = V.compare c1 c2 in
+        c < 0 || (c = 0 && (k1 = k2 || (k1 = `Closed && k2 = `Open)))
+    | Some (`Upper (x, c1, k1)), Some (`Upper (y, c2, k2)) when x = y ->
+        let c = V.compare c1 c2 in
+        c > 0 || (c = 0 && (k1 = k2 || (k1 = `Closed && k2 = `Open)))
+    | _ -> false

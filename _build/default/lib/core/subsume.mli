@@ -1,0 +1,10 @@
+(** Predicate subsumption (paper section 4.1.1, footnote 4).
+
+    [p1] subsumes [p2] when every row eliminated by [p1] is also eliminated
+    by [p2] — e.g. [x > 10] subsumes [x > 20]. Used on predicates already
+    translated into a common reference space and canonicalized. *)
+
+(** [subsumes ~weak ~strong] — does [weak] subsume [strong]? Recognizes
+    syntactic equality (after normalization) and constant relaxation of
+    comparisons over the same expression. *)
+val subsumes : weak:'c Qgm.Expr.t -> strong:'c Qgm.Expr.t -> bool

@@ -1,0 +1,90 @@
+module E = Qgm.Expr
+module B = Qgm.Box
+module M = Mtypes
+
+let norm = String.lowercase_ascii
+
+let through_comp levels e =
+  (* Walk from the top level down, substituting Below references with the
+     level's defining expression; Rejoin references pass through. *)
+  let subst_level level e =
+    E.subst_col
+      (fun c ->
+        match c with
+        | M.Rejoin _ -> Some (E.Col c)
+        | M.Below col -> M.level_out_expr level col)
+      e
+  in
+  List.fold_right
+    (fun level acc -> Option.bind acc (subst_level level))
+    levels (Some e)
+
+let child_col result col =
+  match result with
+  | M.Exact cmap ->
+      List.find_map
+        (fun (e_col, r_col) ->
+          if norm e_col = norm col then Some (E.Col (M.Below r_col)) else None)
+        cmap
+  | M.Comp levels -> through_comp levels (E.Col (M.Below col))
+
+let lift_cref ~rq e =
+  E.map_col
+    (fun c ->
+      match c with
+      | M.Below col -> M.Rin { B.quant = rq.B.q_id; col }
+      | M.Rejoin r -> M.Rj r)
+    e
+
+let to_subsumer (asg : Mctx.assignment) e =
+  E.subst_col
+    (fun ({ B.quant; col } as qref) ->
+      if List.exists (fun q -> q.B.q_id = quant) asg.Mctx.rejoins then
+        Some (E.Col (M.Rj qref))
+      else
+        match
+          List.find_opt (fun (qe, _, _) -> qe.B.q_id = quant) asg.Mctx.pairs
+        with
+        | None -> None
+        | Some (_, rq, result) ->
+            Option.map (lift_cref ~rq) (child_col result col))
+    e
+
+let subsumer_outs (box : B.box) =
+  let to_rin e = E.map_col (fun q -> M.Rin q) e in
+  match box.B.body with
+  | B.Base { bt_cols = cols; _ } ->
+      (* leaves never act as subsumers in derivation, but give a sane view *)
+      List.map (fun c -> (c, E.Col (M.Rin { B.quant = -1; col = c }))) cols
+  | B.Select { sel_outs = outs; _ } -> List.map (fun (n, e) -> (n, to_rin e)) outs
+  | B.Union u ->
+      (* a UNION subsumer exposes no derivable structure *)
+      List.map
+        (fun c -> (c, E.Col (M.Rin { B.quant = -1; col = c })))
+        u.B.un_cols
+  | B.Group { grp_quant = quant; grp_grouping = grouping; grp_aggs = aggs } ->
+      let key_outs =
+        List.map
+          (fun c ->
+            (c, E.Col (M.Rin { B.quant = quant.B.q_id; col = c })))
+          (B.grouping_union grouping)
+      in
+      let agg_outs =
+        List.map
+          (fun (n, { B.agg; arg }) ->
+            let arg_e =
+              Option.map
+                (fun c -> E.Col (M.Rin { B.quant = quant.B.q_id; col = c }))
+                arg
+            in
+            (n, E.Agg (agg, arg_e)))
+          aggs
+      in
+      key_outs @ agg_outs
+
+let subsumer_preds (box : B.box) =
+  match box.B.body with
+  | B.Base _ | B.Group _ | B.Union _ -> []
+  | B.Select { sel_preds = preds; _ } -> List.map (E.map_col (fun q -> M.Rin q)) preds
+
+let subsumer_equiv (box : B.box) = Equiv.of_preds (subsumer_preds box)

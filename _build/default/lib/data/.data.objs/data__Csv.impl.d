@@ -1,0 +1,1 @@
+lib/data/csv.ml: Array Buffer Format In_channel List Out_channel Relation String Value

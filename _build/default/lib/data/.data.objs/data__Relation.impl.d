@@ -1,0 +1,1 @@
+lib/data/relation.ml: Array Float Format Hashtbl List Option Printf Seq Stdlib String Value

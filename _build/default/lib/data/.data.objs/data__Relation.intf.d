@@ -1,0 +1,1 @@
+lib/data/relation.mli: Format Value

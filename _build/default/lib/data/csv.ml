@@ -1,0 +1,149 @@
+exception Csv_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* --------------- decoding --------------- *)
+
+(* Split into records of raw fields, honoring quotes. Returns fields as
+   (content, was_quoted). *)
+let split_records s =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted = ref false in
+  let in_quotes = ref false in
+  let n = String.length s in
+  let flush_field () =
+    fields := (Buffer.contents buf, !quoted) :: !fields;
+    Buffer.clear buf;
+    quoted := false
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec go i =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] || !quoted then flush_record ()
+    end
+    else
+      let c = s.[i] in
+      if !in_quotes then
+        if c = '"' then
+          if i + 1 < n && s.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2)
+          end
+          else begin
+            in_quotes := false;
+            go (i + 1)
+          end
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1)
+        end
+      else
+        match c with
+        | '"' ->
+            in_quotes := true;
+            quoted := true;
+            go (i + 1)
+        | ',' ->
+            flush_field ();
+            go (i + 1)
+        | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
+            flush_record ();
+            go (i + 2)
+        | '\n' ->
+            flush_record ();
+            go (i + 1)
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+  in
+  go 0;
+  if !in_quotes then err "unterminated quoted field";
+  List.rev !records
+
+let parse_date s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some y, Some m, Some d -> Value.date y m d
+      | _ -> err "bad date %S" s)
+  | _ -> err "bad date %S" s
+
+let convert ty (content, was_quoted) =
+  if content = "" && not was_quoted then Value.Null
+  else
+    match ty with
+    | Value.Tint -> (
+        match int_of_string_opt content with
+        | Some i -> Value.Int i
+        | None -> err "bad integer %S" content)
+    | Value.Tfloat -> (
+        match float_of_string_opt content with
+        | Some f -> Value.Float f
+        | None -> err "bad float %S" content)
+    | Value.Tstr -> Value.Str content
+    | Value.Tbool -> (
+        match String.lowercase_ascii content with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> err "bad boolean %S" content)
+    | Value.Tdate -> parse_date content
+
+let parse_string ~types ~header s =
+  let records = split_records s in
+  let records = if header then match records with _ :: r -> r | [] -> [] else records in
+  let width = List.length types in
+  List.map
+    (fun fields ->
+      if List.length fields <> width then
+        err "record has %d fields, expected %d" (List.length fields) width;
+      Array.of_list (List.map2 convert types fields))
+    records
+
+(* --------------- encoding --------------- *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let encode_field v =
+  match v with
+  | Value.Null -> ""
+  | v ->
+      let s = Value.to_string v in
+      if needs_quoting s || s = "" then begin
+        let b = Buffer.create (String.length s + 2) in
+        Buffer.add_char b '"';
+        String.iter
+          (fun c ->
+            if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+          s;
+        Buffer.add_char b '"';
+        Buffer.contents b
+      end
+      else s
+
+let to_string rel =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (String.concat "," (Array.to_list (Relation.columns rel)));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (String.concat "," (List.map encode_field (Array.to_list row)));
+      Buffer.add_char b '\n')
+    (Relation.rows rel);
+  Buffer.contents b
+
+let load_file ~types ~header path =
+  let content = In_channel.with_open_text path In_channel.input_all in
+  parse_string ~types ~header content
+
+let save_file rel path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string rel))

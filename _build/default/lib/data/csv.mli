@@ -1,0 +1,22 @@
+(** Minimal RFC-4180-style CSV reading and writing for relations.
+
+    Values are quoted when they contain commas, quotes or newlines; embedded
+    quotes are doubled. An empty unquoted field reads as NULL; typed parsing
+    is driven by the expected column types. *)
+
+exception Csv_error of string
+
+(** [parse_string ~types ~header s] decodes CSV text into rows. When
+    [header] is true the first record is skipped. Each field is converted
+    per the corresponding type; an empty field becomes NULL. Raises
+    {!Csv_error} on arity or conversion errors. *)
+val parse_string :
+  types:Value.ty list -> header:bool -> string -> Value.t array list
+
+(** Render a relation as CSV text with a header row. *)
+val to_string : Relation.t -> string
+
+val load_file :
+  types:Value.ty list -> header:bool -> string -> Value.t array list
+
+val save_file : Relation.t -> string -> unit

@@ -1,0 +1,78 @@
+(** SQL values with three-valued-logic comparison semantics.
+
+    All scalar data flowing through relations, expressions and the engine is
+    represented by {!t}. [Null] is the SQL NULL: comparisons involving it
+    yield [Null] (unknown), and only a definite [Bool true] satisfies a
+    predicate. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** encoded [yyyymmdd]; build with {!date} *)
+
+type ty = Tint | Tfloat | Tstr | Tbool | Tdate
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty option
+
+(** [date y m d] encodes a calendar date. Raises [Invalid_argument] when the
+    month or day is out of range (no per-month day validation). *)
+val date : int -> int -> int -> t
+
+val year : t -> t
+val month : t -> t
+val day : t -> t
+
+(** Total order used for sorting and grouping. [Null] sorts first; values of
+    different runtime types are ordered by type tag. Numeric [Int]/[Float]
+    compare numerically. *)
+val compare : t -> t -> int
+
+(** Structural (grouping) equality: [Null] equals [Null]. Numeric values of
+    mixed [Int]/[Float] type are equal when numerically equal. *)
+val equal : t -> t -> bool
+
+val hash : t -> int
+val is_null : t -> bool
+
+(** {1 SQL operational semantics} *)
+
+(** 3VL comparison: any [Null] operand yields [Null], otherwise a [Bool]. *)
+val sql_eq : t -> t -> t
+
+val sql_neq : t -> t -> t
+val sql_lt : t -> t -> t
+val sql_le : t -> t -> t
+val sql_gt : t -> t -> t
+val sql_ge : t -> t -> t
+
+(** 3VL connectives (Kleene logic). *)
+val sql_and : t -> t -> t
+
+val sql_or : t -> t -> t
+val sql_not : t -> t
+
+(** Arithmetic with numeric promotion; [Null] propagates. Raises
+    [Type_error] on non-numeric operands. Integer division by zero raises
+    [Division_by_zero]. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+(** String concatenation ([||] in SQL); [Null] propagates. *)
+val concat : t -> t -> t
+
+exception Type_error of string
+
+(** [is_true v] holds only for [Bool true] — the SQL predicate test. *)
+val is_true : t -> bool
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/engine/db.ml: Array Catalog Data Hashtbl List Map Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/engine/db.mli: Catalog Data

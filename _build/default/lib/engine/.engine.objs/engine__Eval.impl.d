@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Data Float Format List Qgm String

@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Data Db Eval Format Hashtbl List Option Qgm String

@@ -1,0 +1,1 @@
+lib/engine/reference.ml: Array Data Db Eval List Qgm String

@@ -1,0 +1,47 @@
+module Smap = Map.Make (String)
+
+type t = { cat : Catalog.t; tables : Data.Relation.t Smap.t }
+
+let norm = String.lowercase_ascii
+let create cat = { cat; tables = Smap.empty }
+let catalog db = db.cat
+let with_catalog db cat = { db with cat }
+
+let recompute_ndvs cat name rel =
+  Array.to_list (Data.Relation.columns rel)
+  |> List.fold_left
+       (fun cat col ->
+         let seen = Hashtbl.create 64 in
+         let i = Data.Relation.column_index rel col in
+         Array.iter
+           (fun row -> Hashtbl.replace seen row.(i) ())
+           (Data.Relation.rows_array rel);
+         Catalog.set_col_ndv cat name col (Hashtbl.length seen))
+       cat
+
+let put db name rel =
+  let n = Data.Relation.cardinality rel in
+  (* Distinct-count statistics are exact but only refreshed when the table
+     changed materially since the last scan (>5% or 100 rows), so a stream
+     of small INSERT/DELETE statements stays linear instead of rescanning
+     the whole relation each time. *)
+  let stale =
+    match Catalog.row_count db.cat name with
+    | None -> true
+    | Some old -> abs (n - old) > Stdlib.max 100 (old / 20)
+  in
+  let cat = Catalog.set_row_count db.cat name n in
+  let cat = if stale then recompute_ndvs cat name rel else cat in
+  { cat; tables = Smap.add (norm name) rel db.tables }
+
+let get db name = Smap.find_opt (norm name) db.tables
+
+let get_exn db name =
+  match get db name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Db: no contents for table %s" name)
+
+let drop db name = { db with tables = Smap.remove (norm name) db.tables }
+
+let of_tables cat tables =
+  List.fold_left (fun db (n, r) -> put db n r) (create cat) tables

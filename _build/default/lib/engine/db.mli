@@ -1,0 +1,21 @@
+(** An in-memory database: a catalog plus one relation per table.
+
+    Functional updates; callers thread the value (the CLI session holds a
+    ref). Summary-table contents live here too, under their table name. *)
+
+type t
+
+val create : Catalog.t -> t
+val catalog : t -> Catalog.t
+val with_catalog : t -> Catalog.t -> t
+
+(** [put db name rel] installs or replaces a table's contents and refreshes
+    its row-count statistic. *)
+val put : t -> string -> Data.Relation.t -> t
+
+val get : t -> string -> Data.Relation.t option
+val get_exn : t -> string -> Data.Relation.t
+val drop : t -> string -> t
+
+(** [of_tables cat tables] bulk-loads [(name, relation)] pairs. *)
+val of_tables : Catalog.t -> (string * Data.Relation.t) list -> t

@@ -1,0 +1,83 @@
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+module V = Data.Value
+module E = Qgm.Expr
+
+let apply_fn name args =
+  match (name, args) with
+  | "year", [ v ] -> V.year v
+  | "month", [ v ] -> V.month v
+  | "day", [ v ] -> V.day v
+  | "float", [ V.Int x ] -> V.Float (float_of_int x)
+  | "float", [ V.Float x ] -> V.Float x
+  | "float", [ V.Null ] -> V.Null
+  | "abs", [ V.Int x ] -> V.Int (abs x)
+  | "abs", [ V.Float x ] -> V.Float (Float.abs x)
+  | "abs", [ V.Null ] -> V.Null
+  | "mod", [ V.Int x; V.Int y ] ->
+      if y = 0 then raise Division_by_zero else V.Int (x mod y)
+  | "mod", [ V.Null; _ ] | "mod", [ _; V.Null ] -> V.Null
+  | "length", [ V.Str s ] -> V.Int (String.length s)
+  | "length", [ V.Null ] -> V.Null
+  | "upper", [ V.Str s ] -> V.Str (String.uppercase_ascii s)
+  | "upper", [ V.Null ] -> V.Null
+  | "lower", [ V.Str s ] -> V.Str (String.lowercase_ascii s)
+  | "lower", [ V.Null ] -> V.Null
+  | "coalesce", args -> (
+      match List.find_opt (fun v -> v <> V.Null) args with
+      | Some v -> v
+      | None -> V.Null)
+  | name, args -> err "unknown function %s/%d" name (List.length args)
+
+let apply_binop op a b =
+  match op with
+  | "+" -> V.add a b
+  | "-" -> V.sub a b
+  | "*" -> V.mul a b
+  | "/" -> V.div a b
+  | "%" -> (
+      match (a, b) with
+      | V.Null, _ | _, V.Null -> V.Null
+      | V.Int x, V.Int y ->
+          if y = 0 then raise Division_by_zero else V.Int (x mod y)
+      | _ -> err "%% requires integer operands")
+  | "||" -> V.concat a b
+  | "=" -> V.sql_eq a b
+  | "<>" -> V.sql_neq a b
+  | "<" -> V.sql_lt a b
+  | "<=" -> V.sql_le a b
+  | ">" -> V.sql_gt a b
+  | ">=" -> V.sql_ge a b
+  | op -> err "unknown operator %s" op
+
+let rec eval lookup e =
+  match e with
+  | E.Const v -> v
+  | E.Col c -> lookup c
+  | E.Unop ("-", e) -> V.neg (eval lookup e)
+  | E.Unop ("NOT", e) -> V.sql_not (eval lookup e)
+  | E.Unop (op, _) -> err "unknown unary operator %s" op
+  | E.Binop ("AND", a, b) ->
+      (* short-circuit on definite FALSE, preserving 3VL *)
+      let va = eval lookup a in
+      if va = V.Bool false then V.Bool false else V.sql_and va (eval lookup b)
+  | E.Binop ("OR", a, b) ->
+      let va = eval lookup a in
+      if va = V.Bool true then V.Bool true else V.sql_or va (eval lookup b)
+  | E.Binop (op, a, b) -> apply_binop op (eval lookup a) (eval lookup b)
+  | E.Fncall (f, args) -> apply_fn f (List.map (eval lookup) args)
+  | E.Agg _ -> invalid_arg "Eval.eval: aggregate outside a GROUP BY box"
+  | E.Is_null (e, positive) ->
+      let v = eval lookup e in
+      V.Bool (if positive then v = V.Null else v <> V.Null)
+  | E.Case (arms, els) -> (
+      let rec try_arms = function
+        | [] -> ( match els with Some e -> eval lookup e | None -> V.Null)
+        | (c, v) :: rest ->
+            if V.is_true (eval lookup c) then eval lookup v else try_arms rest
+      in
+      try_arms arms)
+
+let is_satisfied lookup p = V.is_true (eval lookup p)

@@ -1,0 +1,16 @@
+(** Scalar expression evaluation.
+
+    Evaluates a QGM expression over a column-lookup environment. Aggregate
+    nodes must not appear (the executor computes aggregates in GROUP BY
+    boxes); hitting one raises [Invalid_argument]. *)
+
+exception Eval_error of string
+
+(** [eval lookup e] evaluates [e], resolving each column reference with
+    [lookup]. Built-in scalar functions: [year], [month], [day], [float], [abs],
+    [mod], [length], [upper], [lower], [coalesce]. *)
+val eval : ('c -> Data.Value.t) -> 'c Qgm.Expr.t -> Data.Value.t
+
+(** [is_satisfied lookup p] — SQL predicate test: true only when [p]
+    evaluates to a definite TRUE. *)
+val is_satisfied : ('c -> Data.Value.t) -> 'c Qgm.Expr.t -> bool

@@ -1,0 +1,369 @@
+exception Exec_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+module V = Data.Value
+module R = Data.Relation
+module E = Qgm.Expr
+module B = Qgm.Box
+module G = Qgm.Graph
+
+(* Hash table keyed by value lists, honoring SQL grouping equality
+   (NULL groups with NULL; Int and Float compare numerically). *)
+module Vkey = struct
+  type t = V.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 V.equal a b
+  let hash k = List.fold_left (fun h v -> (h * 31) + V.hash v) 17 k
+end
+
+module VH = Hashtbl.Make (Vkey)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate accumulators                                              *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  mutable cnt : int;
+  mutable nonnull : int;
+  mutable sum : V.t;
+  mutable mn : V.t;
+  mutable mx : V.t;
+  mutable seen : unit VH.t option;  (* for DISTINCT: keys are [v] singletons *)
+}
+
+let new_acc (agg : E.agg) =
+  {
+    cnt = 0;
+    nonnull = 0;
+    sum = V.Null;
+    mn = V.Null;
+    mx = V.Null;
+    seen = (if agg.E.distinct then Some (VH.create 8) else None);
+  }
+
+let acc_add acc v =
+  acc.cnt <- acc.cnt + 1;
+  if v <> V.Null then begin
+    let fresh =
+      match acc.seen with
+      | None -> true
+      | Some tbl ->
+          if VH.mem tbl [ v ] then false
+          else begin
+            VH.add tbl [ v ] ();
+            true
+          end
+    in
+    if fresh then begin
+      acc.nonnull <- acc.nonnull + 1;
+      acc.sum <- (if acc.sum = V.Null then v else V.add acc.sum v);
+      acc.mn <- (if acc.mn = V.Null || V.compare v acc.mn < 0 then v else acc.mn);
+      acc.mx <- (if acc.mx = V.Null || V.compare v acc.mx > 0 then v else acc.mx)
+    end
+  end
+
+let acc_result (agg : E.agg) acc =
+  match agg.E.fn with
+  | E.Count_star -> V.Int acc.cnt
+  | E.Count -> V.Int acc.nonnull
+  | E.Sum -> acc.sum
+  | E.Min -> acc.mn
+  | E.Max -> acc.mx
+  | E.Avg ->
+      if acc.nonnull = 0 then V.Null
+      else V.Float (V.to_float acc.sum /. float_of_int acc.nonnull)
+
+(* ------------------------------------------------------------------ *)
+(* Select box: incremental hash join                                   *)
+(* ------------------------------------------------------------------ *)
+
+type layout = (int * string) array  (* (quant_id, lowercased column) *)
+
+let layout_index (layout : layout) quant col =
+  let col = String.lowercase_ascii col in
+  let n = Array.length layout in
+  let rec go i =
+    if i >= n then None
+    else
+      let q, c = layout.(i) in
+      if q = quant && c = col then Some i else go (i + 1)
+  in
+  go 0
+
+let lookup_in layout tuple { B.quant; col } =
+  match layout_index layout quant col with
+  | Some i -> tuple.(i)
+  | None -> err "unresolved column reference q%d.%s" quant col
+
+let pred_quant_set p = List.sort_uniq compare (List.map (fun r -> r.B.quant) (E.cols p))
+
+let rec run_box_memo db g memo id =
+  match Hashtbl.find_opt memo id with
+  | Some r -> r
+  | None ->
+      let r =
+        match (G.box g id).B.body with
+        | B.Base { bt_table; bt_cols } -> R.project (Db.get_exn db bt_table) bt_cols
+        | B.Select { sel_quants = quants; sel_preds = preds; sel_outs = outs; sel_distinct = distinct } ->
+            exec_select db g memo quants preds outs distinct
+        | B.Group { grp_quant = quant; grp_grouping = grouping; grp_aggs = aggs } ->
+            exec_group db g memo quant grouping aggs
+        | B.Union { un_quants; un_all; un_cols } ->
+            let rows =
+              List.concat_map
+                (fun q ->
+                  let rel = run_box_memo db g memo q.B.q_box in
+                  if R.arity rel <> List.length un_cols then
+                    err "UNION branch arity mismatch";
+                  R.rows rel)
+                un_quants
+            in
+            let rel = R.create un_cols rows in
+            if un_all then rel else R.distinct rel
+      in
+      Hashtbl.add memo id r;
+      r
+
+and exec_select db g memo quants preds outs distinct =
+  let child_rel q = run_box_memo db g memo q.B.q_box in
+  (* initial layout: all scalar-subquery columns as constants *)
+  let init_layout = ref [] and init_tuple = ref [] in
+  List.iter
+    (fun q ->
+      if q.B.q_kind = B.Scalar then begin
+        let rel = child_rel q in
+        let row =
+          match R.cardinality rel with
+          | 0 -> Array.make (R.arity rel) V.Null
+          | 1 -> (R.rows_array rel).(0)
+          | n -> err "scalar subquery returned %d rows" n
+        in
+        Array.iteri
+          (fun i col ->
+            init_layout :=
+              !init_layout @ [ (q.B.q_id, String.lowercase_ascii col) ];
+            init_tuple := !init_tuple @ [ row.(i) ])
+          (R.columns rel)
+      end)
+    quants;
+  let layout = ref (Array.of_list !init_layout) in
+  let tuples = ref [ Array.of_list !init_tuple ] in
+  (* predicate bookkeeping *)
+  let pending = ref (List.map (fun p -> (p, pred_quant_set p)) preds) in
+  let layout_quants () =
+    Array.to_list !layout |> List.map fst |> List.sort_uniq compare
+  in
+  let apply_applicable () =
+    let avail = layout_quants () in
+    let applicable, rest =
+      List.partition
+        (fun (_, qs) -> List.for_all (fun q -> List.mem q avail) qs)
+        !pending
+    in
+    pending := rest;
+    List.iter
+      (fun (p, _) ->
+        let l = !layout in
+        tuples :=
+          List.filter
+            (fun t -> Eval.is_satisfied (lookup_in l t) p)
+            !tuples)
+      applicable
+  in
+  apply_applicable ();
+  (* join in the foreach quantifiers one by one *)
+  List.iter
+    (fun q ->
+      if q.B.q_kind = B.Foreach then begin
+        let rel = child_rel q in
+        let rel_cols =
+          Array.map String.lowercase_ascii (R.columns rel)
+        in
+        let col_idx name =
+          let name = String.lowercase_ascii name in
+          let n = Array.length rel_cols in
+          let rec go i =
+            if i >= n then err "column %s missing in child of quantifier %d" name q.B.q_id
+            else if rel_cols.(i) = name then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        (* find usable equi-join predicates: new-side col = layout-side ref *)
+        let keys = ref [] in
+        pending :=
+          List.filter
+            (fun (p, _) ->
+              match p with
+              | E.Binop ("=", E.Col a, E.Col b) ->
+                  let try_pair x y =
+                    if
+                      x.B.quant = q.B.q_id
+                      && layout_index !layout y.B.quant y.B.col <> None
+                    then begin
+                      keys := (col_idx x.B.col, y) :: !keys;
+                      true
+                    end
+                    else false
+                  in
+                  not (try_pair a b || try_pair b a)
+              | _ -> true)
+            !pending;
+        let new_layout =
+          Array.append !layout
+            (Array.map (fun c -> (q.B.q_id, c)) rel_cols)
+        in
+        let joined =
+          if !keys = [] then
+            (* cross product *)
+            List.concat_map
+              (fun t ->
+                List.map (fun row -> Array.append t row) (R.rows rel))
+              !tuples
+          else begin
+            let key_idxs = List.map fst !keys in
+            let probe_refs = List.map snd !keys in
+            let ht = VH.create (max 16 (R.cardinality rel)) in
+            Array.iter
+              (fun row ->
+                let kv = List.map (fun i -> row.(i)) key_idxs in
+                if not (List.mem V.Null kv) then
+                  VH.add ht kv row)
+              (R.rows_array rel);
+            List.concat_map
+              (fun t ->
+                let kv =
+                  List.map (fun r -> lookup_in !layout t r) probe_refs
+                in
+                if List.mem V.Null kv then []
+                else
+                  List.rev_map
+                    (fun row -> Array.append t row)
+                    (VH.find_all ht kv))
+              !tuples
+          end
+        in
+        layout := new_layout;
+        tuples := joined;
+        apply_applicable ()
+      end)
+    quants;
+  if !pending <> [] then
+    err "predicate references unavailable quantifier (internal error)";
+  (* project outputs *)
+  let l = !layout in
+  let out_names = List.map fst outs in
+  let out_exprs = List.map snd outs in
+  let rows =
+    List.map
+      (fun t ->
+        Array.of_list
+          (List.map (fun e -> Eval.eval (lookup_in l t) e) out_exprs))
+      !tuples
+  in
+  let rel = R.create out_names rows in
+  if distinct then R.distinct rel else rel
+
+(* ------------------------------------------------------------------ *)
+(* Group box                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and exec_group db g memo quant grouping aggs =
+  let child = run_box_memo db g memo quant.B.q_box in
+  let idx name = R.column_index child name in
+  let union_cols = B.grouping_union grouping in
+  let union_idx = List.map idx union_cols in
+  let out_names = union_cols @ List.map fst aggs in
+  let agg_specs =
+    List.map
+      (fun (_, { B.agg; arg }) -> (agg, Option.map idx arg))
+      aggs
+  in
+  let cuboid set =
+    let set_l = List.map String.lowercase_ascii set in
+    let key_idx = List.map idx set in
+    let groups = VH.create 64 in
+    let order = ref [] in
+    Array.iter
+      (fun row ->
+        let key = List.map (fun i -> row.(i)) key_idx in
+        let accs =
+          match VH.find_opt groups key with
+          | Some a -> a
+          | None ->
+              let a = List.map (fun (agg, _) -> new_acc agg) agg_specs in
+              VH.add groups key a;
+              order := key :: !order;
+              a
+        in
+        List.iter2
+          (fun acc (_, arg_i) ->
+            let v = match arg_i with Some i -> row.(i) | None -> V.Null in
+            acc_add acc v)
+          accs agg_specs)
+      (R.rows_array child);
+    let keys =
+      if VH.length groups = 0 && set = [] then begin
+        (* grand total over empty input still produces one row *)
+        VH.add groups [] (List.map (fun (agg, _) -> new_acc agg) agg_specs);
+        [ [] ]
+      end
+      else List.rev !order
+    in
+    List.map
+      (fun key ->
+        let accs = VH.find groups key in
+        let union_vals =
+          List.map2
+            (fun col _i ->
+              match
+                List.find_index
+                  (fun c -> c = String.lowercase_ascii col)
+                  set_l
+              with
+              | Some j -> List.nth key j
+              | None -> V.Null)
+            union_cols union_idx
+        in
+        let agg_vals =
+          List.map2 (fun acc (agg, _) -> acc_result agg acc) accs agg_specs
+        in
+        Array.of_list (union_vals @ agg_vals))
+      keys
+  in
+  let rows = List.concat_map cuboid (B.grouping_sets grouping) in
+  R.create out_names rows
+
+(* ------------------------------------------------------------------ *)
+
+let run_box db g id = run_box_memo db g (Hashtbl.create 16) id
+
+let run db g =
+  let rel = run_box db g (G.root g) in
+  let { G.order_by; limit } = G.presentation g in
+  let rel =
+    if order_by = [] then rel
+    else
+      let idx = List.map (fun (c, asc) -> (R.column_index rel c, asc)) order_by in
+      R.sort
+        (fun a b ->
+          let rec go = function
+            | [] -> 0
+            | (i, asc) :: rest ->
+                let c = V.compare a.(i) b.(i) in
+                if c <> 0 then if asc then c else -c else go rest
+          in
+          go idx)
+        rel
+  in
+  match limit with
+  | None -> rel
+  | Some n ->
+      let rows = R.rows rel in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: rest -> x :: take (k - 1) rest
+      in
+      R.create (Array.to_list (R.columns rel)) (take n rows)

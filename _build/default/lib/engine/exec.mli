@@ -1,0 +1,16 @@
+(** QGM interpreter.
+
+    Executes a QGM graph directly against a {!Db}: base-table scans,
+    select-project-join with incremental hash joins on equality predicates,
+    scalar subqueries, DISTINCT, hash aggregation, and multidimensional
+    grouping sets (one cuboid per set, NULL-padded to the union of grouping
+    columns, per the paper's section 5 semantics). The root's presentation
+    (ORDER BY / LIMIT) is applied last. *)
+
+exception Exec_error of string
+
+(** Execute the graph's root box and apply its presentation. *)
+val run : Db.t -> Qgm.Graph.t -> Data.Relation.t
+
+(** Execute an arbitrary box of the graph (no presentation applied). *)
+val run_box : Db.t -> Qgm.Graph.t -> Qgm.Box.box_id -> Data.Relation.t

@@ -1,0 +1,8 @@
+(** A deliberately naive QGM evaluator, kept as simple as possible so that
+    its correctness is evident by inspection: nested-loop joins (no hashing,
+    no predicate push-down ordering), per-group rescans for aggregation, no
+    memoization. It exists solely as a differential-testing oracle for
+    {!Exec} — see [test/test_differential.ml]. Quadratic and worse;
+    never use it on real data. *)
+
+val run : Db.t -> Qgm.Graph.t -> Data.Relation.t

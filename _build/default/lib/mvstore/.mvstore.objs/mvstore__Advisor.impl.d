@@ -1,0 +1,1 @@
+lib/mvstore/advisor.ml: Hashtbl List Option Printf Sqlsyn String

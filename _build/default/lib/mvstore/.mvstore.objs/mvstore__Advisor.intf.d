@@ -1,0 +1,1 @@
+lib/mvstore/advisor.mli: Catalog

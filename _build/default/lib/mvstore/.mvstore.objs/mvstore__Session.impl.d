@@ -1,0 +1,1 @@
+lib/mvstore/session.ml: Array Astmatch Buffer Catalog Data Engine Format List Option Printf Qgm Sqlsyn Store String

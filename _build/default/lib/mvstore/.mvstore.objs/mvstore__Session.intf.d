@@ -1,0 +1,1 @@
+lib/mvstore/session.mli: Astmatch Catalog Data Engine Sqlsyn Store

@@ -1,0 +1,1 @@
+lib/mvstore/store.ml: Array Astmatch Catalog Data Engine Format Hashtbl List Map Qgm Sqlsyn String

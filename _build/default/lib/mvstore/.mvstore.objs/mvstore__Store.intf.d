@@ -1,0 +1,1 @@
+lib/mvstore/store.mli: Astmatch Data Engine Qgm

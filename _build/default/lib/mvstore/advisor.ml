@@ -1,0 +1,167 @@
+module A = Sqlsyn.Ast
+module P = Sqlsyn.Pretty
+
+type recommendation = {
+  rec_name : string;
+  rec_sql : string;
+  rec_serves : string list;
+}
+
+let norm = String.lowercase_ascii
+
+(* Canonical text of an expression, for dedup and signatures. *)
+let key e = norm (P.expr_to_string e)
+
+type shape = {
+  sh_tables : (string * string option) list;  (* table, alias *)
+  sh_joins : string list;                     (* canonical join pred texts *)
+  sh_filters : A.expr list;                   (* non-join conjuncts *)
+  sh_groups : A.expr list;
+  sh_aggs : A.expr list;                      (* Agg nodes *)
+}
+
+let rec conjuncts = function
+  | A.Binop ("AND", a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let is_join_pred = function
+  | A.Binop ("=", A.Ref _, A.Ref _) -> true
+  | _ -> false
+
+let rec collect_aggs acc e =
+  match e with
+  | A.Agg _ -> if List.exists (fun a -> key a = key e) acc then acc else acc @ [ e ]
+  | e -> List.fold_left collect_aggs acc (A.sub_exprs e)
+
+(* Single-block aggregate over base tables only. *)
+let shape_of (q : A.query) : shape option =
+  let tables =
+    List.map
+      (function
+        | A.From_table (t, a) -> Some (t, a)
+        | A.From_sub _ -> None)
+      q.A.from
+  in
+  if List.exists (fun t -> t = None) tables then None
+  else if q.A.distinct || q.A.select_star then None
+  else if
+    not (List.for_all (function A.G_expr _ -> true | _ -> false) q.A.group_by)
+  then None
+  else
+    let groups =
+      List.map (function A.G_expr e -> e | _ -> assert false) q.A.group_by
+    in
+    let aggs =
+      List.fold_left
+        (fun acc it -> collect_aggs acc it.A.item_expr)
+        [] q.A.select
+    in
+    let aggs =
+      match q.A.having with
+      | Some h -> collect_aggs aggs h
+      | None -> aggs
+    in
+    if groups = [] && aggs = [] then None
+    else
+      let conj = match q.A.where with None -> [] | Some w -> conjuncts w in
+      let joins, filters = List.partition is_join_pred conj in
+      Some
+        {
+          sh_tables = List.filter_map (fun t -> t) tables;
+          sh_joins = List.sort compare (List.map key joins);
+          sh_filters = filters;
+          sh_groups = groups;
+          sh_aggs = aggs;
+        }
+
+let signature sh =
+  ( List.sort compare
+      (List.map (fun (t, a) -> norm (Option.value ~default:t a)) sh.sh_tables),
+    sh.sh_joins )
+
+(* Grouping expressions a filter implies: for comparisons against constants
+   keep the column side, so the filter can be applied on top of the AST. *)
+let filter_group_exprs filters =
+  List.filter_map
+    (fun p ->
+      match p with
+      | A.Binop (("<" | "<=" | ">" | ">=" | "=" | "<>"), e, A.Lit _) -> Some e
+      | A.Binop (("<" | "<=" | ">" | ">=" | "=" | "<>"), A.Lit _, e) -> Some e
+      | A.Is_null (e, _) -> Some e
+      | _ -> None)
+    filters
+
+let recommend cat queries =
+  ignore cat;
+  let parsed =
+    List.filter_map
+      (fun sql ->
+        match Sqlsyn.Parser.parse_query sql with
+        | q -> Option.map (fun sh -> (sql, sh)) (shape_of q)
+        | exception _ -> None)
+      queries
+  in
+  (* cluster by signature *)
+  let clusters = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (sql, sh) ->
+      let sg = signature sh in
+      match Hashtbl.find_opt clusters sg with
+      | None ->
+          Hashtbl.replace clusters sg (ref [ (sql, sh) ]);
+          order := sg :: !order
+      | Some l -> l := !l @ [ (sql, sh) ])
+    parsed;
+  let mk_rec i sg =
+    let members = !(Hashtbl.find clusters sg) in
+    let add_uniq acc e =
+      if List.exists (fun x -> key x = key e) acc then acc else acc @ [ e ]
+    in
+    let groups =
+      List.fold_left
+        (fun acc (_, sh) ->
+          let filter_gs = filter_group_exprs sh.sh_filters in
+          List.fold_left add_uniq acc (sh.sh_groups @ filter_gs))
+        [] members
+    in
+    let aggs =
+      List.fold_left
+        (fun acc (_, sh) -> List.fold_left add_uniq acc sh.sh_aggs)
+        [ A.Agg (A.Count, false, None) ]
+        members
+    in
+    let _, sh0 = List.hd members in
+    let from_txt =
+      String.concat ", "
+        (List.map
+           (fun (t, a) ->
+             match a with
+             | Some a when norm a <> norm t -> t ^ " AS " ^ a
+             | _ -> t)
+           sh0.sh_tables)
+    in
+    let joins = sh0.sh_joins in
+    let select_items =
+      List.mapi
+        (fun j e -> Printf.sprintf "%s AS g%d" (P.expr_to_string e) (j + 1))
+        groups
+      @ List.mapi
+          (fun j e -> Printf.sprintf "%s AS a%d" (P.expr_to_string e) (j + 1))
+          aggs
+    in
+    let sql =
+      Printf.sprintf "SELECT %s FROM %s%s GROUP BY %s"
+        (String.concat ", " select_items)
+        from_txt
+        (if joins = [] then ""
+         else " WHERE " ^ String.concat " AND " joins)
+        (String.concat ", " (List.map P.expr_to_string groups))
+    in
+    {
+      rec_name = Printf.sprintf "ast_adv%d" (i + 1);
+      rec_sql = sql;
+      rec_serves = List.map fst members;
+    }
+  in
+  List.mapi mk_rec (List.rev !order)

@@ -1,0 +1,20 @@
+(** Workload-driven summary-table recommendation.
+
+    The paper defers AST selection to prior work ([7]); this module provides
+    the practical heuristic a deployment needs: cluster the workload's
+    aggregate queries by their join core (the set of base tables joined with
+    identical join predicates), union each cluster's grouping expressions
+    and re-derivable aggregates, always include COUNT-star (it unlocks the
+    re-aggregation rules of section 4.1.2), and emit one CREATE SUMMARY
+    TABLE per cluster. Queries answered by a recommended AST include every
+    query whose grouping set is a subset of the union. *)
+
+type recommendation = {
+  rec_name : string;
+  rec_sql : string;           (** CREATE SUMMARY TABLE ... AS ... body *)
+  rec_serves : string list;   (** workload queries (by input text) covered *)
+}
+
+(** [recommend cat queries] — [queries] are SQL texts. Queries that are not
+    single-block aggregates are skipped. *)
+val recommend : Catalog.t -> string list -> recommendation list

@@ -1,0 +1,347 @@
+module A = Sqlsyn.Ast
+module R = Data.Relation
+module V = Data.Value
+
+exception Session_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
+let norm = String.lowercase_ascii
+
+type t = {
+  mutable sdb : Engine.Db.t;
+  mutable sstore : Store.t;
+  mutable srewrite : bool;
+}
+
+type outcome = Msg of string | Table of R.t | Plan of string
+
+let create ?(rewrite = true) () =
+  { sdb = Engine.Db.create Catalog.empty; sstore = Store.empty; srewrite = rewrite }
+
+let of_tables ?(rewrite = true) cat tables =
+  { sdb = Engine.Db.of_tables cat tables; sstore = Store.empty; srewrite = rewrite }
+
+let set_rewrite t b = t.srewrite <- b
+let db t = t.sdb
+let store t = t.sstore
+
+(* ---------------- DDL ---------------- *)
+
+let do_create_table t name (cols : A.col_def list) constraints =
+  let pk =
+    List.concat_map
+      (function A.C_primary_key ks -> [ ks ] | _ -> [])
+      constraints
+  in
+  let primary_key = match pk with [] -> [] | [ ks ] -> ks | _ -> err "multiple primary keys" in
+  let tbl =
+    {
+      Catalog.tbl_name = name;
+      tbl_cols =
+        List.map
+          (fun c ->
+            {
+              Catalog.col_name = c.A.cd_name;
+              col_ty = c.A.cd_ty;
+              nullable =
+                (not c.A.cd_not_null)
+                && not (List.exists (fun k -> norm k = norm c.A.cd_name) primary_key);
+            })
+          cols;
+      primary_key;
+      unique_keys =
+        List.concat_map
+          (function A.C_unique ks -> [ ks ] | _ -> [])
+          constraints;
+      foreign_keys =
+        List.concat_map
+          (function
+            | A.C_foreign_key (ks, rt, rks) ->
+                [ { Catalog.fk_cols = ks; fk_ref_table = rt; fk_ref_cols = rks } ]
+            | _ -> [])
+          constraints;
+    }
+  in
+  let cat =
+    try Catalog.add_table (Engine.Db.catalog t.sdb) tbl
+    with Invalid_argument m -> err "%s" m
+  in
+  t.sdb <- Engine.Db.put (Engine.Db.with_catalog t.sdb cat) name
+             (R.empty (Catalog.column_names tbl));
+  Msg (Printf.sprintf "table %s created" name)
+
+(* ---------------- DML ---------------- *)
+
+let const_eval (e : A.expr) =
+  (* resolve the literal-only expression through the builder's core and
+     evaluate it with no column environment *)
+  let rec conv e =
+    match e with
+    | A.Lit v -> Qgm.Expr.Const v
+    | A.Unop (op, e) -> Qgm.Expr.Unop (op, conv e)
+    | A.Binop (op, a, b) -> Qgm.Expr.Binop (op, conv a, conv b)
+    | A.Fncall (f, args) -> Qgm.Expr.Fncall (f, List.map conv args)
+    | A.Case (arms, els) ->
+        Qgm.Expr.Case
+          (List.map (fun (c, v) -> (conv c, conv v)) arms, Option.map conv els)
+    | A.Is_null (e, pos) -> Qgm.Expr.Is_null (conv e, pos)
+    | _ -> err "INSERT values must be constant expressions"
+  in
+  try Engine.Eval.eval (fun (_ : unit) -> V.Null) (conv e)
+  with Engine.Eval.Eval_error m -> err "bad INSERT value: %s" m
+
+let do_insert t table cols_opt rows =
+  let cat = Engine.Db.catalog t.sdb in
+  let tbl =
+    match Catalog.find_table cat table with
+    | Some tbl -> tbl
+    | None -> err "unknown table %s" table
+  in
+  let all_cols = Catalog.column_names tbl in
+  let target_cols = Option.value ~default:all_cols cols_opt in
+  let positions =
+    List.map
+      (fun c ->
+        match
+          List.find_index (fun x -> norm x = norm c) all_cols
+        with
+        | Some i -> i
+        | None -> err "column %s not in table %s" c table)
+      target_cols
+  in
+  let width = List.length all_cols in
+  let mkrow exprs =
+    if List.length exprs <> List.length target_cols then
+      err "INSERT row arity mismatch";
+    let row = Array.make width V.Null in
+    List.iter2 (fun i e -> row.(i) <- const_eval e) positions exprs;
+    (* light integrity enforcement: reject NULL in NOT NULL columns *)
+    List.iteri
+      (fun i c ->
+        match Catalog.find_column tbl c with
+        | Some col when (not col.Catalog.nullable) && row.(i) = V.Null ->
+            err "NULL value for NOT NULL column %s.%s" table c
+        | _ -> ())
+      all_cols;
+    row
+  in
+  let new_rows = List.map mkrow rows in
+  (* incremental maintenance first (needs the delta in isolation) *)
+  let store', db' = Store.apply_insert t.sstore t.sdb ~table ~rows:new_rows in
+  t.sstore <- store';
+  let current =
+    match Engine.Db.get db' table with
+    | Some r -> r
+    | None -> R.empty all_cols
+  in
+  t.sdb <- Engine.Db.put db' table (R.append current new_rows);
+  Msg (Printf.sprintf "%d row(s) inserted into %s" (List.length new_rows) table)
+
+let do_delete t table where =
+  let cat = Engine.Db.catalog t.sdb in
+  if not (Catalog.mem_table cat table) then err "unknown table %s" table;
+  let current =
+    match Engine.Db.get t.sdb table with
+    | Some r -> r
+    | None -> R.empty (Catalog.column_names (Catalog.table_exn cat table))
+  in
+  (* rows to delete = the table filtered by the predicate *)
+  let doomed_query =
+    {
+      A.empty_query with
+      A.select_star = true;
+      from = [ A.From_table (table, None) ];
+      where;
+    }
+  in
+  let g =
+    try Qgm.Builder.build cat doomed_query
+    with Qgm.Builder.Sem_error m -> err "semantic error: %s" m
+  in
+  let doomed = Engine.Exec.run t.sdb g in
+  (* maintain summaries with the delta before mutating the table *)
+  let store', db' =
+    Store.apply_delete t.sstore t.sdb ~table ~rows:(R.rows doomed)
+  in
+  t.sstore <- store';
+  t.sdb <- Engine.Db.put db' table (R.bag_diff current doomed);
+  Msg
+    (Printf.sprintf "%d row(s) deleted from %s" (R.cardinality doomed) table)
+
+(* COPY: CSV bulk load/unload. Loads route through the same integrity and
+   summary-maintenance path as INSERT. *)
+let do_copy_from t table path header =
+  let cat = Engine.Db.catalog t.sdb in
+  let tbl =
+    match Catalog.find_table cat table with
+    | Some tbl -> tbl
+    | None -> err "unknown table %s" table
+  in
+  let types = List.map (fun c -> c.Catalog.col_ty) tbl.Catalog.tbl_cols in
+  let rows =
+    try Data.Csv.load_file ~types ~header path with
+    | Data.Csv.Csv_error m -> err "COPY %s: %s" table m
+    | Sys_error m -> err "COPY %s: %s" table m
+  in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i c ->
+          if (not c.Catalog.nullable) && row.(i) = V.Null then
+            err "NULL value for NOT NULL column %s.%s" table
+              c.Catalog.col_name)
+        tbl.Catalog.tbl_cols;
+      ignore row)
+    rows;
+  let store', db' = Store.apply_insert t.sstore t.sdb ~table ~rows in
+  t.sstore <- store';
+  let current =
+    match Engine.Db.get db' table with
+    | Some r -> r
+    | None -> R.empty (Catalog.column_names tbl)
+  in
+  t.sdb <- Engine.Db.put db' table (R.append current rows);
+  Msg (Printf.sprintf "%d row(s) copied into %s" (List.length rows) table)
+
+let do_copy_to t table path =
+  match Engine.Db.get t.sdb table with
+  | None -> err "unknown table %s" table
+  | Some rel -> (
+      try
+        Data.Csv.save_file rel path;
+        Msg
+          (Printf.sprintf "%d row(s) copied from %s to %s" (R.cardinality rel)
+             table path)
+      with Sys_error m -> err "COPY %s: %s" table m)
+
+(* ---------------- queries ---------------- *)
+
+let build_query t q =
+  try Qgm.Builder.build (Engine.Db.catalog t.sdb) q
+  with Qgm.Builder.Sem_error m -> err "semantic error: %s" m
+
+let run_query t q =
+  let g = build_query t q in
+  if not t.srewrite then (Engine.Exec.run t.sdb g, [])
+  else
+    match
+      Astmatch.Rewrite.best ~cat:(Engine.Db.catalog t.sdb) g
+        (Store.rewritable t.sstore)
+    with
+    | None -> (Engine.Exec.run t.sdb g, [])
+    | Some (g', steps) -> (Engine.Exec.run t.sdb g', steps)
+
+let explain t q =
+  let g = build_query t q in
+  let cat = Engine.Db.catalog t.sdb in
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "original cost estimate: %.0f\n" (Astmatch.Cost.graph_cost cat g);
+  (match Astmatch.Rewrite.best ~cat g (Store.rewritable t.sstore) with
+  | None ->
+      addf "no beneficial summary-table rewrite found\n";
+      (* per-summary diagnostics *)
+      List.iter
+        (fun (mv : Astmatch.Rewrite.mv) ->
+          let trace = Buffer.create 128 in
+          let sites =
+            Astmatch.Navigator.find_matches ~trace cat ~query:g
+              ~ast:mv.mv_graph
+          in
+          if sites <> [] then
+            addf "  %s: matches, but the rewrite is not estimated cheaper\n"
+              mv.mv_name
+          else begin
+            addf "  %s: no match\n" mv.mv_name;
+            String.split_on_char '\n' (Buffer.contents trace)
+            |> List.filter (fun l -> String.trim l <> "")
+            |> List.sort_uniq compare
+            |> List.iter (fun l -> addf "    - %s\n" l)
+          end)
+        (Store.rewritable t.sstore)
+  | Some (g', steps) ->
+      List.iter
+        (fun (s : Astmatch.Rewrite.step) ->
+          addf "rewrite: box %d answered from %s (%s match)\n" s.target
+            s.used_mv
+            (if s.exact then "exact" else "compensated"))
+        steps;
+      addf "rewritten cost estimate: %.0f\n"
+        (Astmatch.Cost.graph_cost cat g');
+      addf "rewritten SQL: %s\n" (Qgm.Unparse.to_sql g'));
+  Buffer.contents buf
+
+(* ---------------- statements ---------------- *)
+
+let exec_stmt t stmt =
+  match stmt with
+  | A.Create_table { ct_name; ct_cols; ct_constraints } ->
+      do_create_table t ct_name ct_cols ct_constraints
+  | A.Insert { ins_table; ins_cols; ins_rows } ->
+      do_insert t ins_table ins_cols ins_rows
+  | A.Delete { del_table; del_where } -> do_delete t del_table del_where
+  | A.Copy_from { cf_table; cf_path; cf_header } ->
+      do_copy_from t cf_table cf_path cf_header
+  | A.Copy_to { ct2_table; ct2_path } -> do_copy_to t ct2_table ct2_path
+  | A.Create_summary { cs_name; cs_query } -> (
+      let sql = Sqlsyn.Pretty.query_to_string cs_query in
+      try
+        let store', db' = Store.define t.sstore t.sdb ~name:cs_name ~sql in
+        t.sstore <- store';
+        t.sdb <- db';
+        let e = Option.get (Store.find store' cs_name) in
+        Msg
+          (Printf.sprintf "summary table %s created (%d rows%s)" cs_name
+             (R.cardinality (Engine.Db.get_exn db' cs_name))
+             (match e.Store.e_incr with
+             | Some _ -> ", incrementally maintainable"
+             | None -> ""))
+      with Store.Mv_error m -> err "%s" m)
+  | A.Drop_summary name -> (
+      try
+        let store', db' = Store.drop t.sstore t.sdb name in
+        t.sstore <- store';
+        t.sdb <- db';
+        Msg (Printf.sprintf "summary table %s dropped" name)
+      with Store.Mv_error m -> err "%s" m)
+  | A.Refresh_summary name -> (
+      try
+        let store', db' = Store.refresh_full t.sstore t.sdb name in
+        t.sstore <- store';
+        t.sdb <- db';
+        Msg (Printf.sprintf "summary table %s refreshed" name)
+      with Store.Mv_error m -> err "%s" m)
+  | A.Select q ->
+      let rel, _ = run_query t q in
+      Table rel
+  | A.Explain_rewrite q -> Plan (explain t q)
+  | A.Explain_plan q ->
+      let g = build_query t q in
+      let cat = Engine.Db.catalog t.sdb in
+      (* show the plan that would actually run, after routing *)
+      let g =
+        if not t.srewrite then g
+        else
+          match Astmatch.Rewrite.best ~cat g (Store.rewritable t.sstore) with
+          | Some (g', _) -> g'
+          | None -> g
+      in
+      Plan (Astmatch.Cost.explain cat g)
+
+let exec_sql t sql =
+  (* statement-at-a-time: statements before a syntax error have executed
+     and their effects persist; the error then surfaces *)
+  let cursor =
+    try Sqlsyn.Parser.script_start sql
+    with Sqlsyn.Lexer.Lex_error (m, p) -> err "lexical error at offset %d: %s" p m
+  in
+  let rec loop acc =
+    match
+      try Sqlsyn.Parser.script_next cursor with
+      | Sqlsyn.Parser.Parse_error (m, p) ->
+          err "parse error at offset %d: %s" p m
+    with
+    | None -> List.rev acc
+    | Some stmt -> loop (exec_stmt t stmt :: acc)
+  in
+  loop []

@@ -1,0 +1,39 @@
+(** Statement-level driver: DDL, DML, summary-table management, querying
+    with transparent rewriting. This is what the CLI and the examples sit
+    on. *)
+
+type t
+
+type outcome =
+  | Msg of string                 (** DDL/DML acknowledgement *)
+  | Table of Data.Relation.t      (** query result *)
+  | Plan of string                (** EXPLAIN REWRITE output *)
+
+exception Session_error of string
+
+(** [create ()] starts with an empty catalog. [?rewrite] (default true)
+    controls transparent AST routing for SELECTs. *)
+val create : ?rewrite:bool -> unit -> t
+
+(** Start from an existing catalog and table contents. *)
+val of_tables :
+  ?rewrite:bool -> Catalog.t -> (string * Data.Relation.t) list -> t
+
+val set_rewrite : t -> bool -> unit
+val db : t -> Engine.Db.t
+val store : t -> Store.t
+
+(** Execute one statement. Raises {!Session_error} (with parse/semantic
+    context) on bad input. *)
+val exec_stmt : t -> Sqlsyn.Ast.stmt -> outcome
+
+(** Execute a semicolon-separated script. *)
+val exec_sql : t -> string -> outcome list
+
+(** Run a query, returning the result plus the rewrite steps applied (empty
+    when the original plan ran). *)
+val run_query :
+  t -> Sqlsyn.Ast.query -> Data.Relation.t * Astmatch.Rewrite.step list
+
+(** Render an EXPLAIN REWRITE report for a query. *)
+val explain : t -> Sqlsyn.Ast.query -> string

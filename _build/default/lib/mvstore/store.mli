@@ -1,0 +1,66 @@
+(** The summary-table (AST) store: definitions, materialization, refresh.
+
+    Each summary table is defined by a SQL query, materialized through the
+    engine into an ordinary stored table, and registered in the catalog so
+    rewritten queries can scan it. Inserts into base tables are folded into
+    eligible summary tables incrementally (insert-delta aggregation); other
+    summary tables over the changed table turn stale and are excluded from
+    rewriting until refreshed (the paper's problem (c), after [10]). *)
+
+type merge_fn = M_add | M_min | M_max
+
+type incr_plan = {
+  ip_keys : string list;                 (** MV columns that are group keys *)
+  ip_aggs : (string * merge_fn) list;    (** MV aggregate columns *)
+  ip_count : string option;
+      (** a COUNT-star column, when present: required for delete
+          maintenance (it detects emptied groups) *)
+  ip_delete_safe : bool;
+      (** no SUM over a nullable argument (subtraction cannot restore the
+          NULL that an all-NULL group requires) *)
+}
+
+type entry = {
+  e_name : string;
+  e_sql : string;
+  e_graph : Qgm.Graph.t;
+  e_cols : (string * Data.Value.ty) list;
+  e_tables : string list;        (** base tables the definition reads *)
+  e_fresh : bool;
+  e_incr : incr_plan option;     (** [None]: full refresh only *)
+}
+
+type t
+
+val empty : t
+val entries : t -> entry list
+val find : t -> string -> entry option
+
+exception Mv_error of string
+
+(** [define store db ~name ~sql] parses and elaborates the defining query,
+    materializes it, registers the result as a catalog table, and stores the
+    entry. Raises {!Mv_error} on name clashes or unsupported definitions. *)
+val define : t -> Engine.Db.t -> name:string -> sql:string -> t * Engine.Db.t
+
+val drop : t -> Engine.Db.t -> string -> t * Engine.Db.t
+
+(** Recompute a summary table from scratch and mark it fresh. *)
+val refresh_full : t -> Engine.Db.t -> string -> t * Engine.Db.t
+
+(** [apply_insert store db ~table ~rows] must be called *before* the rows
+    are added to [table]: summary tables with an incremental plan absorb the
+    delta; others over [table] become stale. *)
+val apply_insert :
+  t -> Engine.Db.t -> table:string -> rows:Data.Relation.row list -> t * Engine.Db.t
+
+(** [apply_delete store db ~table ~rows] must be called with the deleted
+    rows *before* they are removed from [table]. Summary tables whose plan
+    has only subtractable aggregates (COUNT/SUM) and a COUNT-star column
+    absorb the delta (groups whose count reaches zero disappear); MIN/MAX
+    summaries and non-incremental ones become stale. *)
+val apply_delete :
+  t -> Engine.Db.t -> table:string -> rows:Data.Relation.row list -> t * Engine.Db.t
+
+(** Fresh summary tables, packaged for the rewriter. *)
+val rewritable : t -> Astmatch.Rewrite.mv list

@@ -1,0 +1,1 @@
+lib/qgm/box.ml: Expr List

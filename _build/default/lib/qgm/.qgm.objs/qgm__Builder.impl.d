@@ -1,0 +1,1 @@
+lib/qgm/builder.ml: Box Catalog Data Expr Format Graph List Option Printf Sqlsyn String

@@ -1,0 +1,1 @@
+lib/qgm/builder.mli: Catalog Graph Sqlsyn

@@ -1,0 +1,1 @@
+lib/qgm/expr.ml: Data Format List Option Stdlib

@@ -1,0 +1,1 @@
+lib/qgm/expr.mli: Data Format

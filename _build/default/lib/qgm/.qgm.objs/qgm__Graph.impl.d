@@ -1,0 +1,1 @@
+lib/qgm/graph.ml: Box Expr Format Hashtbl Int List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/qgm/graph.mli: Box Format Hashtbl

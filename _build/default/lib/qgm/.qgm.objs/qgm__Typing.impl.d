@@ -1,0 +1,1 @@
+lib/qgm/typing.ml: Box Catalog Data Expr Graph List String

@@ -1,0 +1,1 @@
+lib/qgm/typing.mli: Catalog Data Graph

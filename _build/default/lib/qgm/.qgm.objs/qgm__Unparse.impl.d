@@ -1,0 +1,1 @@
+lib/qgm/unparse.ml: Box Expr Graph List Option Printf Sqlsyn String

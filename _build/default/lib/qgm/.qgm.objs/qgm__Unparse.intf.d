@@ -1,0 +1,1 @@
+lib/qgm/unparse.mli: Graph Sqlsyn

@@ -1,0 +1,7 @@
+(** Lightweight output-type inference for QGM graphs.
+
+    Used to register materialized summary tables in the catalog with
+    sensible column types. Falls back to [Tfloat] for arithmetic over mixed
+    numerics and to [Tstr] when nothing better is known. *)
+
+val infer_outputs : Catalog.t -> Graph.t -> (string * Data.Value.ty) list

@@ -1,0 +1,12 @@
+(** QGM to SQL: render a graph back into the surface syntax.
+
+    Each box becomes a query block; SELECT / GROUP BY / SELECT triples are
+    re-merged into single blocks with GROUP BY and HAVING clauses (the
+    inverse of {!Builder}'s decomposition), so rewritten queries read like
+    the paper's NewQ examples. Scalar quantifiers are re-inlined as scalar
+    subqueries. *)
+
+(** Render the graph rooted at its root box. *)
+val to_query : Graph.t -> Sqlsyn.Ast.query
+
+val to_sql : Graph.t -> string

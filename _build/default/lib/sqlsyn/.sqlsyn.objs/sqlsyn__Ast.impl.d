@@ -1,0 +1,1 @@
+lib/sqlsyn/ast.ml: Data List Option

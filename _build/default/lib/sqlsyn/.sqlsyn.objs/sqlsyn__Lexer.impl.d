@@ -1,0 +1,1 @@
+lib/sqlsyn/lexer.ml: List Printf String Token

@@ -1,0 +1,1 @@
+lib/sqlsyn/lexer.mli: Token

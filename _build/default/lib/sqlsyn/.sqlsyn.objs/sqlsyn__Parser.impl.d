@@ -1,0 +1,1 @@
+lib/sqlsyn/parser.ml: Ast Data Lexer List Printf String Token

@@ -1,0 +1,1 @@
+lib/sqlsyn/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlsyn/pretty.ml: Ast Buffer Data Format List Printf String

@@ -1,0 +1,1 @@
+lib/sqlsyn/pretty.mli: Ast Format

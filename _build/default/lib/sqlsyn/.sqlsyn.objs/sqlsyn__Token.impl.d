@@ -1,0 +1,1 @@
+lib/sqlsyn/token.ml: Printf

@@ -1,0 +1,122 @@
+(* Abstract syntax of the SQL dialect.
+
+   The dialect covers what the paper's examples need and a bit more:
+   select/project/join blocks, WHERE/HAVING, aggregation with DISTINCT,
+   multidimensional grouping (ROLLUP / CUBE / GROUPING SETS), table
+   subqueries in FROM, non-correlated scalar subqueries in expressions,
+   ORDER BY / LIMIT, plus the DDL and DML needed to drive the engine. *)
+
+type ident = string
+
+type agg_name = Count | Sum | Avg | Min | Max
+
+type expr =
+  | Lit of Data.Value.t
+  | Ref of ident option * ident          (* [qualifier.]column *)
+  | Unop of string * expr                (* "-" | "NOT" *)
+  | Binop of string * expr * expr        (* arithmetic, comparison, AND/OR, "||" *)
+  | Fncall of string * expr list         (* scalar functions: year, month, ... *)
+  | Agg of agg_name * bool * expr option (* aggregate, DISTINCT flag; None = COUNT star *)
+  | Is_null of expr * bool               (* expr IS [NOT(false)] NULL; bool = positive *)
+  | In_list of expr * expr list * bool   (* expr [NOT(false)] IN (e1, ..., en) *)
+  | Between of expr * expr * expr
+  | Case of (expr * expr) list * expr option
+  | Scalar_sub of query
+
+and select_item = { item_expr : expr; item_alias : ident option }
+
+and from_item =
+  | From_table of ident * ident option
+  | From_sub of query * ident
+
+and group_item =
+  | G_expr of expr
+  | G_rollup of expr list
+  | G_cube of expr list
+  | G_sets of expr list list
+
+and query = {
+  distinct : bool;
+  select_star : bool;
+  select : select_item list;             (* empty iff select_star *)
+  from : from_item list;
+  where : expr option;
+  group_by : group_item list;
+  having : expr option;
+  order_by : (expr * bool) list;         (* bool = ascending *)
+  limit : int option;
+  unions : (bool * query) list;
+      (* further UNION [ALL(true)] branches; ORDER BY/LIMIT of the head
+         query apply to the whole union *)
+}
+
+type col_def = {
+  cd_name : ident;
+  cd_ty : Data.Value.ty;
+  cd_not_null : bool;
+}
+
+type table_constraint =
+  | C_primary_key of ident list
+  | C_unique of ident list
+  | C_foreign_key of ident list * ident * ident list
+
+type stmt =
+  | Create_table of {
+      ct_name : ident;
+      ct_cols : col_def list;
+      ct_constraints : table_constraint list;
+    }
+  | Insert of {
+      ins_table : ident;
+      ins_cols : ident list option;
+      ins_rows : expr list list;
+    }
+  | Delete of { del_table : ident; del_where : expr option }
+  | Copy_from of { cf_table : ident; cf_path : string; cf_header : bool }
+  | Copy_to of { ct2_table : ident; ct2_path : string }
+  | Create_summary of { cs_name : ident; cs_query : query }
+  | Drop_summary of ident
+  | Refresh_summary of ident
+  | Select of query
+  | Explain_rewrite of query
+  | Explain_plan of query
+
+let empty_query =
+  {
+    distinct = false;
+    select_star = false;
+    select = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    unions = [];
+  }
+
+let agg_name_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+(* Fold over all immediate sub-expressions (not descending into subqueries). *)
+let sub_exprs = function
+  | Lit _ | Ref _ | Scalar_sub _ -> []
+  | Unop (_, e) | Is_null (e, _) -> [ e ]
+  | Binop (_, a, b) -> [ a; b ]
+  | Fncall (_, es) -> es
+  | Agg (_, _, e) -> Option.to_list e
+  | In_list (e, es, _) -> e :: es
+  | Between (e, lo, hi) -> [ e; lo; hi ]
+  | Case (arms, els) ->
+      List.concat_map (fun (c, v) -> [ c; v ]) arms @ Option.to_list els
+
+let rec contains_agg e =
+  match e with
+  | Agg _ -> true
+  | Scalar_sub _ -> false
+  | e -> List.exists contains_agg (sub_exprs e)

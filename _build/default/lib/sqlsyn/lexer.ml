@@ -1,0 +1,102 @@
+exception Lex_error of string * int
+
+let error msg pos = raise (Lex_error (msg, pos))
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok pos = toks := (tok, pos) :: !toks in
+  let rec skip_block_comment i depth start =
+    if i + 1 >= n then error "unterminated block comment" start
+    else if src.[i] = '*' && src.[i + 1] = '/' then
+      if depth = 1 then i + 2 else skip_block_comment (i + 2) (depth - 1) start
+    else if src.[i] = '/' && src.[i + 1] = '*' then
+      skip_block_comment (i + 2) (depth + 1) start
+    else skip_block_comment (i + 1) depth start
+  in
+  let rec scan_string i acc start =
+    if i >= n then error "unterminated string literal" start
+    else if src.[i] = '\'' then
+      if i + 1 < n && src.[i + 1] = '\'' then
+        scan_string (i + 2) (acc ^ "'") start
+      else begin
+        emit (Token.Str_lit acc) start;
+        i + 1
+      end
+    else scan_string (i + 1) (acc ^ String.make 1 src.[i]) start
+  in
+  let rec loop i =
+    if i >= n then emit Token.Eof i
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1)
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then begin
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        loop (eol (i + 2))
+      end
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+        loop (skip_block_comment (i + 2) 1 i)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        emit (Token.Ident (String.sub src i (!j - i))) i;
+        loop !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        let is_float =
+          !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1]
+        in
+        if is_float then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done;
+          if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+            incr j;
+            if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+            while !j < n && is_digit src.[!j] do incr j done
+          end;
+          emit (Token.Float_lit (float_of_string (String.sub src i (!j - i)))) i
+        end
+        else emit (Token.Int_lit (int_of_string (String.sub src i (!j - i)))) i;
+        loop !j
+      end
+      else if c = '\'' then loop (scan_string (i + 1) "" i)
+      else begin
+        let two tok = emit tok i; loop (i + 2) in
+        let one tok = emit tok i; loop (i + 1) in
+        if i + 1 < n then
+          match (c, src.[i + 1]) with
+          | '<', '=' -> two Token.Le
+          | '>', '=' -> two Token.Ge
+          | '<', '>' -> two Token.Neq
+          | '!', '=' -> two Token.Neq
+          | '|', '|' -> two Token.Concat
+          | _ -> single c one i
+        else single c one i
+      end
+  and single c one pos =
+    match c with
+    | '(' -> one Token.Lparen
+    | ')' -> one Token.Rparen
+    | ',' -> one Token.Comma
+    | '.' -> one Token.Dot
+    | ';' -> one Token.Semi
+    | '*' -> one Token.Star
+    | '+' -> one Token.Plus
+    | '-' -> one Token.Minus
+    | '/' -> one Token.Slash
+    | '%' -> one Token.Percent
+    | '=' -> one Token.Eq
+    | '<' -> one Token.Lt
+    | '>' -> one Token.Gt
+    | c -> error (Printf.sprintf "unexpected character %C" c) pos
+  in
+  loop 0;
+  List.rev !toks

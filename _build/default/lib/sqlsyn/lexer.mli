@@ -1,0 +1,12 @@
+(** Hand-written SQL lexer.
+
+    Supports identifiers, integer/float literals, single-quoted string
+    literals (with [''] escaping), [--] line comments, [/* ... */] block
+    comments, and the operator/punctuation set of {!Token.t}. *)
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+(** [tokenize src] is the token stream of [src], each token paired with its
+    starting byte offset, ending with [(Token.Eof, _)].
+    Raises {!Lex_error} on unexpected characters or unterminated literals. *)
+val tokenize : string -> (Token.t * int) list

@@ -1,0 +1,743 @@
+exception Parse_error of string * int
+
+type state = { mutable toks : (Token.t * int) list }
+
+let error st msg =
+  let pos = match st.toks with (_, p) :: _ -> p | [] -> 0 in
+  raise (Parse_error (msg, pos))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Token.Eof
+
+let peek2 st =
+  match st.toks with _ :: (t, _) :: _ -> t | _ -> Token.Eof
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s" what (Token.to_string (peek st)))
+
+(* Case-insensitive keyword handling. *)
+let kw_is t kw =
+  match t with
+  | Token.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let at_kw st kw = kw_is (peek st) kw
+
+let eat_kw st kw =
+  if at_kw st kw then begin advance st; true end else false
+
+let expect_kw st kw =
+  if not (eat_kw st kw) then
+    error st
+      (Printf.sprintf "expected %s, found %s" kw (Token.to_string (peek st)))
+
+let reserved =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "LIMIT"; "AND";
+    "OR"; "NOT"; "AS"; "ON"; "JOIN"; "INNER"; "BY"; "DISTINCT"; "IS"; "NULL";
+    "IN"; "BETWEEN"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "UNION"; "ASC";
+    "DESC"; "VALUES"; "INSERT"; "CREATE"; "DROP"; "TABLE"; "SET"; "LEFT";
+    "RIGHT"; "FULL"; "OUTER"; "CROSS"; "EXPLAIN"; "DELETE"; "COPY"; "PLAN";
+  ]
+
+let ident st what =
+  match peek st with
+  | Token.Ident s when not (List.mem (String.uppercase_ascii s) reserved) ->
+      advance st;
+      s
+  | t -> error st (Printf.sprintf "expected %s, found %s" what (Token.to_string t))
+
+let agg_of_name s =
+  match String.uppercase_ascii s with
+  | "COUNT" -> Some Ast.Count
+  | "SUM" -> Some Ast.Sum
+  | "AVG" -> Some Ast.Avg
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | _ -> None
+
+let parse_date_literal st s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some y, Some m, Some d -> Data.Value.date y m d
+      | _ -> error st (Printf.sprintf "malformed date literal '%s'" s))
+  | _ -> error st (Printf.sprintf "malformed date literal '%s'" s)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if eat_kw st "OR" then Ast.Binop ("OR", lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if eat_kw st "AND" then Ast.Binop ("AND", lhs, parse_and st) else lhs
+
+and parse_not st =
+  if eat_kw st "NOT" then Ast.Unop ("NOT", parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  match peek st with
+  | Token.Eq -> advance st; Ast.Binop ("=", lhs, parse_additive st)
+  | Token.Neq -> advance st; Ast.Binop ("<>", lhs, parse_additive st)
+  | Token.Lt -> advance st; Ast.Binop ("<", lhs, parse_additive st)
+  | Token.Le -> advance st; Ast.Binop ("<=", lhs, parse_additive st)
+  | Token.Gt -> advance st; Ast.Binop (">", lhs, parse_additive st)
+  | Token.Ge -> advance st; Ast.Binop (">=", lhs, parse_additive st)
+  | t when kw_is t "IS" ->
+      advance st;
+      let positive = not (eat_kw st "NOT") in
+      expect_kw st "NULL";
+      Ast.Is_null (lhs, positive)
+  | t when kw_is t "BETWEEN" ->
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "AND";
+      let hi = parse_additive st in
+      Ast.Between (lhs, lo, hi)
+  | t when kw_is t "IN" || kw_is t "NOT" ->
+      let positive = not (eat_kw st "NOT") in
+      expect_kw st "IN";
+      expect st Token.Lparen "(";
+      let items = parse_expr_list st in
+      expect st Token.Rparen ")";
+      Ast.In_list (lhs, items, positive)
+  | _ -> lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Plus -> advance st; lhs := Ast.Binop ("+", !lhs, parse_multiplicative st)
+    | Token.Minus -> advance st; lhs := Ast.Binop ("-", !lhs, parse_multiplicative st)
+    | Token.Concat -> advance st; lhs := Ast.Binop ("||", !lhs, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Star -> advance st; lhs := Ast.Binop ("*", !lhs, parse_unary st)
+    | Token.Slash -> advance st; lhs := Ast.Binop ("/", !lhs, parse_unary st)
+    | Token.Percent -> advance st; lhs := Ast.Binop ("%", !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus -> advance st; Ast.Unop ("-", parse_unary st)
+  | Token.Plus -> advance st; parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit i -> advance st; Ast.Lit (Data.Value.Int i)
+  | Token.Float_lit f -> advance st; Ast.Lit (Data.Value.Float f)
+  | Token.Str_lit s -> advance st; Ast.Lit (Data.Value.Str s)
+  | Token.Lparen ->
+      advance st;
+      if at_kw st "SELECT" then begin
+        let q = parse_query_body st in
+        expect st Token.Rparen ")";
+        Ast.Scalar_sub q
+      end
+      else begin
+        let e = parse_or st in
+        expect st Token.Rparen ")";
+        e
+      end
+  | Token.Ident s when kw_is (peek st) "CASE" -> ignore s; parse_case st
+  | Token.Ident _ when kw_is (peek st) "NULL" -> advance st; Ast.Lit Data.Value.Null
+  | Token.Ident _ when kw_is (peek st) "TRUE" -> advance st; Ast.Lit (Data.Value.Bool true)
+  | Token.Ident _ when kw_is (peek st) "FALSE" -> advance st; Ast.Lit (Data.Value.Bool false)
+  | Token.Ident s
+    when kw_is (peek st) "DATE"
+         && match peek2 st with Token.Str_lit _ -> true | _ -> false -> (
+      ignore s;
+      advance st;
+      match peek st with
+      | Token.Str_lit d -> advance st; Ast.Lit (parse_date_literal st d)
+      | _ -> assert false)
+  | Token.Ident name -> (
+      match peek2 st with
+      | Token.Lparen -> (
+          advance st;
+          advance st;
+          (* aggregate or scalar function call *)
+          match agg_of_name name with
+          | Some Ast.Count when peek st = Token.Star ->
+              advance st;
+              expect st Token.Rparen ")";
+              Ast.Agg (Ast.Count, false, None)
+          | Some agg ->
+              let distinct = eat_kw st "DISTINCT" in
+              let arg = parse_or st in
+              expect st Token.Rparen ")";
+              Ast.Agg (agg, distinct, Some arg)
+          | None ->
+              let args =
+                if peek st = Token.Rparen then [] else parse_expr_list st
+              in
+              expect st Token.Rparen ")";
+              Ast.Fncall (String.lowercase_ascii name, args))
+      | Token.Dot ->
+          advance st;
+          advance st;
+          let col = ident st "column name" in
+          Ast.Ref (Some name, col)
+      | _ ->
+          if List.mem (String.uppercase_ascii name) reserved then
+            error st (Printf.sprintf "unexpected keyword %s" name)
+          else begin
+            advance st;
+            Ast.Ref (None, name)
+          end)
+  | t -> error st (Printf.sprintf "unexpected token %s" (Token.to_string t))
+
+and parse_case st =
+  expect_kw st "CASE";
+  let arms = ref [] in
+  while at_kw st "WHEN" do
+    advance st;
+    let c = parse_or st in
+    expect_kw st "THEN";
+    let v = parse_or st in
+    arms := (c, v) :: !arms
+  done;
+  let els = if eat_kw st "ELSE" then Some (parse_or st) else None in
+  expect_kw st "END";
+  if !arms = [] then error st "CASE requires at least one WHEN arm";
+  Ast.Case (List.rev !arms, els)
+
+and parse_expr_list st =
+  let e = parse_or st in
+  if peek st = Token.Comma then begin
+    advance st;
+    e :: parse_expr_list st
+  end
+  else [ e ]
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_select_item st =
+  let e = parse_or st in
+  if eat_kw st "AS" then { Ast.item_expr = e; item_alias = Some (ident st "alias") }
+  else
+    match peek st with
+    | Token.Ident s
+      when (not (List.mem (String.uppercase_ascii s) reserved))
+           && peek2 st <> Token.Lparen && peek2 st <> Token.Dot ->
+        advance st;
+        { Ast.item_expr = e; item_alias = Some s }
+    | _ -> { Ast.item_expr = e; item_alias = None }
+
+and parse_from_item st =
+  if peek st = Token.Lparen then begin
+    advance st;
+    let q = parse_query_body st in
+    expect st Token.Rparen ")";
+    ignore (eat_kw st "AS");
+    let alias = ident st "subquery alias" in
+    Ast.From_sub (q, alias)
+  end
+  else
+    let name = ident st "table name" in
+    if eat_kw st "AS" then Ast.From_table (name, Some (ident st "alias"))
+    else
+      match peek st with
+      | Token.Ident s when not (List.mem (String.uppercase_ascii s) reserved)
+        ->
+          advance st;
+          Ast.From_table (name, Some s)
+      | _ -> Ast.From_table (name, None)
+
+and parse_from_clause st =
+  (* Comma-separated items; INNER JOIN ... ON is folded into the item list,
+     with the ON condition returned to be AND-ed into WHERE. *)
+  let conds = ref [] in
+  let rec joins acc =
+    if eat_kw st "INNER" then begin
+      expect_kw st "JOIN";
+      join_tail acc
+    end
+    else if at_kw st "JOIN" then begin
+      advance st;
+      join_tail acc
+    end
+    else if at_kw st "CROSS" then begin
+      advance st;
+      expect_kw st "JOIN";
+      joins (parse_from_item st :: acc)
+    end
+    else if at_kw st "LEFT" || at_kw st "RIGHT" || at_kw st "FULL" then
+      error st "outer joins are not supported (paper scope: inner joins)"
+    else acc
+  and join_tail acc =
+    let item = parse_from_item st in
+    expect_kw st "ON";
+    let c = parse_or st in
+    conds := c :: !conds;
+    joins (item :: acc)
+  in
+  let rec items acc =
+    let acc = joins (parse_from_item st :: acc) in
+    if peek st = Token.Comma then begin
+      advance st;
+      items acc
+    end
+    else List.rev acc
+  in
+  let fs = items [] in
+  (fs, List.rev !conds)
+
+and parse_group_item st =
+  if at_kw st "ROLLUP" then begin
+    advance st;
+    expect st Token.Lparen "(";
+    let es = parse_expr_list st in
+    expect st Token.Rparen ")";
+    Ast.G_rollup es
+  end
+  else if at_kw st "CUBE" then begin
+    advance st;
+    expect st Token.Lparen "(";
+    let es = parse_expr_list st in
+    expect st Token.Rparen ")";
+    Ast.G_cube es
+  end
+  else if at_kw st "GROUPING" then begin
+    advance st;
+    expect_kw st "SETS";
+    expect st Token.Lparen "(";
+    let parse_set () =
+      if peek st = Token.Lparen then begin
+        advance st;
+        let es = if peek st = Token.Rparen then [] else parse_expr_list st in
+        expect st Token.Rparen ")";
+        es
+      end
+      else [ parse_or st ]
+    in
+    let rec sets acc =
+      let s = parse_set () in
+      if peek st = Token.Comma then begin
+        advance st;
+        sets (s :: acc)
+      end
+      else List.rev (s :: acc)
+    in
+    let ss = sets [] in
+    expect st Token.Rparen ")";
+    Ast.G_sets ss
+  end
+  else Ast.G_expr (parse_or st)
+
+and parse_select_core st =
+  expect_kw st "SELECT";
+  let distinct = eat_kw st "DISTINCT" in
+  let select_star = peek st = Token.Star in
+  let select =
+    if select_star then begin
+      advance st;
+      []
+    end
+    else
+      let rec items acc =
+        let it = parse_select_item st in
+        if peek st = Token.Comma then begin
+          advance st;
+          items (it :: acc)
+        end
+        else List.rev (it :: acc)
+      in
+      items []
+  in
+  expect_kw st "FROM";
+  let from, join_conds = parse_from_clause st in
+  let where = if eat_kw st "WHERE" then Some (parse_or st) else None in
+  let where =
+    match (join_conds, where) with
+    | [], w -> w
+    | cs, w ->
+        let conj =
+          List.fold_left (fun acc c -> Ast.Binop ("AND", acc, c)) (List.hd cs)
+            (List.tl cs)
+        in
+        Some (match w with None -> conj | Some w -> Ast.Binop ("AND", conj, w))
+  in
+  let group_by =
+    if eat_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec items acc =
+        let g = parse_group_item st in
+        if peek st = Token.Comma then begin
+          advance st;
+          items (g :: acc)
+        end
+        else List.rev (g :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  let having = if eat_kw st "HAVING" then Some (parse_or st) else None in
+  {
+    Ast.distinct;
+    select_star;
+    select;
+    from;
+    where;
+    group_by;
+    having;
+    order_by = [];
+    limit = None;
+    unions = [];
+  }
+
+(* A full query: a select core, optional UNION [ALL] chain (left-
+   associative), then ORDER BY / LIMIT applying to the whole union. *)
+and parse_query_body st =
+  let head = parse_select_core st in
+  let unions =
+    let rec loop acc =
+      if at_kw st "UNION" then begin
+        advance st;
+        let all = eat_kw st "ALL" in
+        let q = parse_union_branch st in
+        loop (acc @ [ (all, q) ])
+      end
+      else acc
+    in
+    loop []
+  in
+  let order_by =
+    if eat_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec items acc =
+        let e = parse_or st in
+        let asc =
+          if eat_kw st "DESC" then false
+          else begin
+            ignore (eat_kw st "ASC");
+            true
+          end
+        in
+        if peek st = Token.Comma then begin
+          advance st;
+          items ((e, asc) :: acc)
+        end
+        else List.rev ((e, asc) :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  let limit =
+    if eat_kw st "LIMIT" then
+      match peek st with
+      | Token.Int_lit i -> advance st; Some i
+      | _ -> error st "expected integer after LIMIT"
+    else None
+  in
+  { head with Ast.order_by; limit; unions }
+
+(* a UNION branch: a select core, or a parenthesized sub-union *)
+and parse_union_branch st =
+  if peek st = Token.Lparen then begin
+    advance st;
+    let q = parse_query_body st in
+    expect st Token.Rparen ")";
+    q
+  end
+  else parse_select_core st
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ident_list st =
+  let rec loop acc =
+    let i = ident st "column name" in
+    if peek st = Token.Comma then begin
+      advance st;
+      loop (i :: acc)
+    end
+    else List.rev (i :: acc)
+  in
+  loop []
+
+let parse_create_table st =
+  let name = ident st "table name" in
+  expect st Token.Lparen "(";
+  let cols = ref [] and constraints = ref [] in
+  let parse_entry () =
+    if at_kw st "PRIMARY" then begin
+      advance st;
+      expect_kw st "KEY";
+      expect st Token.Lparen "(";
+      let ks = parse_ident_list st in
+      expect st Token.Rparen ")";
+      constraints := Ast.C_primary_key ks :: !constraints
+    end
+    else if at_kw st "UNIQUE" then begin
+      advance st;
+      expect st Token.Lparen "(";
+      let ks = parse_ident_list st in
+      expect st Token.Rparen ")";
+      constraints := Ast.C_unique ks :: !constraints
+    end
+    else if at_kw st "FOREIGN" then begin
+      advance st;
+      expect_kw st "KEY";
+      expect st Token.Lparen "(";
+      let ks = parse_ident_list st in
+      expect st Token.Rparen ")";
+      expect_kw st "REFERENCES";
+      let ref_table = ident st "referenced table" in
+      expect st Token.Lparen "(";
+      let rks = parse_ident_list st in
+      expect st Token.Rparen ")";
+      constraints := Ast.C_foreign_key (ks, ref_table, rks) :: !constraints
+    end
+    else begin
+      let cname = ident st "column name" in
+      let tyname = ident st "type name" in
+      let ty =
+        match Data.Value.ty_of_string tyname with
+        | Some t -> t
+        | None -> error st (Printf.sprintf "unknown type %s" tyname)
+      in
+      (* tolerate a parenthesized precision, e.g. VARCHAR(20) *)
+      if peek st = Token.Lparen then begin
+        advance st;
+        (match peek st with
+        | Token.Int_lit _ -> advance st
+        | _ -> error st "expected integer precision");
+        if peek st = Token.Comma then begin
+          advance st;
+          match peek st with
+          | Token.Int_lit _ -> advance st
+          | _ -> error st "expected integer scale"
+        end;
+        expect st Token.Rparen ")"
+      end;
+      let not_null = ref false in
+      let inline_pk = ref false in
+      let progress = ref true in
+      while !progress do
+        if at_kw st "NOT" then begin
+          advance st;
+          expect_kw st "NULL";
+          not_null := true
+        end
+        else if at_kw st "PRIMARY" then begin
+          advance st;
+          expect_kw st "KEY";
+          inline_pk := true
+        end
+        else progress := false
+      done;
+      cols :=
+        { Ast.cd_name = cname; cd_ty = ty; cd_not_null = !not_null || !inline_pk }
+        :: !cols;
+      if !inline_pk then constraints := Ast.C_primary_key [ cname ] :: !constraints
+    end
+  in
+  let rec entries () =
+    parse_entry ();
+    if peek st = Token.Comma then begin
+      advance st;
+      entries ()
+    end
+  in
+  entries ();
+  expect st Token.Rparen ")";
+  Ast.Create_table
+    { ct_name = name; ct_cols = List.rev !cols; ct_constraints = List.rev !constraints }
+
+let parse_insert st =
+  expect_kw st "INTO";
+  let table = ident st "table name" in
+  let cols =
+    if peek st = Token.Lparen then begin
+      advance st;
+      let cs = parse_ident_list st in
+      expect st Token.Rparen ")";
+      Some cs
+    end
+    else None
+  in
+  expect_kw st "VALUES";
+  let parse_row () =
+    expect st Token.Lparen "(";
+    let es = parse_expr_list st in
+    expect st Token.Rparen ")";
+    es
+  in
+  let rec rows acc =
+    let r = parse_row () in
+    if peek st = Token.Comma then begin
+      advance st;
+      rows (r :: acc)
+    end
+    else List.rev (r :: acc)
+  in
+  Ast.Insert { ins_table = table; ins_cols = cols; ins_rows = rows [] }
+
+let parse_stmt_body st =
+  if at_kw st "CREATE" then begin
+    advance st;
+    if at_kw st "TABLE" then begin
+      advance st;
+      parse_create_table st
+    end
+    else if at_kw st "SUMMARY" || at_kw st "MATERIALIZED" then begin
+      let matview = at_kw st "MATERIALIZED" in
+      advance st;
+      if matview then expect_kw st "VIEW" else expect_kw st "TABLE";
+      let name = ident st "summary table name" in
+      expect_kw st "AS";
+      let wrapped = peek st = Token.Lparen && kw_is (peek2 st) "SELECT" in
+      if wrapped then advance st;
+      let q = parse_query_body st in
+      if wrapped then expect st Token.Rparen ")";
+      Ast.Create_summary { cs_name = name; cs_query = q }
+    end
+    else error st "expected TABLE, SUMMARY TABLE or MATERIALIZED VIEW"
+  end
+  else if at_kw st "INSERT" then begin
+    advance st;
+    parse_insert st
+  end
+  else if at_kw st "COPY" then begin
+    advance st;
+    let table = ident st "table name" in
+    if eat_kw st "FROM" then begin
+      let path =
+        match peek st with
+        | Token.Str_lit p -> advance st; p
+        | _ -> error st "expected a quoted file path"
+      in
+      let header =
+        if eat_kw st "WITH" then begin
+          expect_kw st "HEADER";
+          true
+        end
+        else false
+      in
+      Ast.Copy_from { cf_table = table; cf_path = path; cf_header = header }
+    end
+    else begin
+      expect_kw st "TO";
+      match peek st with
+      | Token.Str_lit p -> advance st; Ast.Copy_to { ct2_table = table; ct2_path = p }
+      | _ -> error st "expected a quoted file path"
+    end
+  end
+  else if at_kw st "DELETE" then begin
+    advance st;
+    expect_kw st "FROM";
+    let table = ident st "table name" in
+    let where = if eat_kw st "WHERE" then Some (parse_or st) else None in
+    Ast.Delete { del_table = table; del_where = where }
+  end
+  else if at_kw st "DROP" then begin
+    advance st;
+    ignore (eat_kw st "SUMMARY");
+    ignore (eat_kw st "TABLE");
+    Ast.Drop_summary (ident st "summary table name")
+  end
+  else if at_kw st "REFRESH" then begin
+    advance st;
+    ignore (eat_kw st "SUMMARY");
+    ignore (eat_kw st "TABLE");
+    Ast.Refresh_summary (ident st "summary table name")
+  end
+  else if at_kw st "EXPLAIN" then begin
+    advance st;
+    if eat_kw st "REWRITE" then Ast.Explain_rewrite (parse_query_body st)
+    else begin
+      ignore (eat_kw st "PLAN");
+      Ast.Explain_plan (parse_query_body st)
+    end
+  end
+  else if at_kw st "SELECT" then Ast.Select (parse_query_body st)
+  else error st "expected a statement"
+
+let init src = { toks = Lexer.tokenize src }
+
+let finish st what =
+  (match peek st with Token.Semi -> advance st | _ -> ());
+  match peek st with
+  | Token.Eof -> ()
+  | t ->
+      error st
+        (Printf.sprintf "trailing input after %s: %s" what (Token.to_string t))
+
+let parse_query src =
+  let st = init src in
+  let q = parse_query_body st in
+  finish st "query";
+  q
+
+let parse_stmt src =
+  let st = init src in
+  let s = parse_stmt_body st in
+  finish st "statement";
+  s
+
+(* Stepping interface: parse one statement at a time so a caller can
+   execute each before the next is even parsed — a syntax error later in a
+   script then cannot retroactively void earlier statements. *)
+type cursor = state
+
+let script_start src = init src
+
+let script_next st =
+  let rec skip () =
+    match peek st with
+    | Token.Semi -> advance st; skip ()
+    | _ -> ()
+  in
+  skip ();
+  match peek st with
+  | Token.Eof -> None
+  | _ ->
+      let s = parse_stmt_body st in
+      (match peek st with
+      | Token.Semi -> advance st
+      | Token.Eof -> ()
+      | t ->
+          error st
+            (Printf.sprintf "expected ';' between statements, found %s"
+               (Token.to_string t)));
+      Some s
+
+let parse_script src =
+  let st = script_start src in
+  let rec loop acc =
+    match script_next st with None -> List.rev acc | Some s -> loop (s :: acc)
+  in
+  loop []
+
+let parse_expr src =
+  let st = init src in
+  let e = parse_or st in
+  finish st "expression";
+  e

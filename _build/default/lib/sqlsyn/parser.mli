@@ -1,0 +1,23 @@
+(** Recursive-descent SQL parser over {!Lexer} tokens. *)
+
+exception Parse_error of string * int  (** message, byte offset *)
+
+(** Parse a single query (no trailing semicolon required). *)
+val parse_query : string -> Ast.query
+
+(** Parse a single statement (optionally semicolon-terminated). *)
+val parse_stmt : string -> Ast.stmt
+
+(** Parse a script: a sequence of semicolon-separated statements. *)
+val parse_script : string -> Ast.stmt list
+
+(** Incremental script parsing: {!script_next} yields one statement at a
+    time (and [None] at end of input), so callers can execute statements as
+    they parse — a later syntax error then cannot void earlier ones. *)
+type cursor
+
+val script_start : string -> cursor
+val script_next : cursor -> Ast.stmt option
+
+(** Parse a standalone scalar expression (for tests and tools). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,211 @@
+open Format
+
+let prec_of_binop = function
+  | "OR" -> 1
+  | "AND" -> 2
+  | "=" | "<>" | "<" | "<=" | ">" | ">=" -> 4
+  | "+" | "-" | "||" -> 5
+  | "*" | "/" | "%" -> 6
+  | _ -> 7
+
+let lit_to_string v =
+  match v with
+  | Data.Value.Str s ->
+      let b = Buffer.create (String.length s + 2) in
+      Buffer.add_char b '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+        s;
+      Buffer.add_char b '\'';
+      Buffer.contents b
+  | Data.Value.Date _ -> "DATE '" ^ Data.Value.to_string v ^ "'"
+  | v -> Data.Value.to_string v
+
+let rec pp_expr_prec prec fmt e =
+  match e with
+  | Ast.Lit v -> pp_print_string fmt (lit_to_string v)
+  | Ast.Ref (None, c) -> pp_print_string fmt c
+  | Ast.Ref (Some q, c) -> fprintf fmt "%s.%s" q c
+  | Ast.Unop ("NOT", e) ->
+      let s = prec_of_binop "AND" in
+      if prec > 2 then fprintf fmt "(NOT %a)" (pp_expr_prec s) e
+      else fprintf fmt "NOT %a" (pp_expr_prec s) e
+  | Ast.Unop ("-", e) ->
+      (* avoid "--", which lexes as a line comment *)
+      let s = asprintf "%a" (pp_expr_prec 7) e in
+      if String.length s > 0 && s.[0] = '-' then fprintf fmt "-(%s)" s
+      else fprintf fmt "-%s" s
+  | Ast.Unop (op, e) -> fprintf fmt "%s%a" op (pp_expr_prec 7) e
+  | Ast.Binop (op, a, b) ->
+      let p = prec_of_binop op in
+      (* comparisons are non-associative: parenthesize nested ones *)
+      let lp = match op with "=" | "<>" | "<" | "<=" | ">" | ">=" -> p + 1 | _ -> p in
+      let body fmt () =
+        fprintf fmt "%a %s %a" (pp_expr_prec lp) a op (pp_expr_prec (p + 1)) b
+      in
+      if p < prec then fprintf fmt "(%a)" body () else body fmt ()
+  | Ast.Fncall (f, args) ->
+      fprintf fmt "%s(%a)" f
+        (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") (pp_expr_prec 0))
+        args
+  | Ast.Agg (a, _, None) -> fprintf fmt "%s(*)" (Ast.agg_name_to_string a)
+  | Ast.Agg (a, distinct, Some e) ->
+      fprintf fmt "%s(%s%a)" (Ast.agg_name_to_string a)
+        (if distinct then "DISTINCT " else "")
+        (pp_expr_prec 0) e
+  | Ast.Is_null (e, positive) ->
+      (* postfix predicates sit at comparison level: parenthesize as an
+         operand of anything tighter *)
+      let body fmt () =
+        fprintf fmt "%a IS %sNULL" (pp_expr_prec 5) e
+          (if positive then "" else "NOT ")
+      in
+      if prec > 4 then fprintf fmt "(%a)" body () else body fmt ()
+  | Ast.In_list (e, items, positive) ->
+      let body fmt () =
+        fprintf fmt "%a %sIN (%a)" (pp_expr_prec 5) e
+          (if positive then "" else "NOT ")
+          (pp_print_list
+             ~pp_sep:(fun fmt () -> fprintf fmt ", ")
+             (pp_expr_prec 0))
+          items
+      in
+      if prec > 4 then fprintf fmt "(%a)" body () else body fmt ()
+  | Ast.Between (e, lo, hi) ->
+      let body fmt () =
+        fprintf fmt "%a BETWEEN %a AND %a" (pp_expr_prec 5) e (pp_expr_prec 5)
+          lo (pp_expr_prec 5) hi
+      in
+      if prec > 4 then fprintf fmt "(%a)" body () else body fmt ()
+  | Ast.Case (arms, els) ->
+      fprintf fmt "CASE";
+      List.iter
+        (fun (c, v) ->
+          fprintf fmt " WHEN %a THEN %a" (pp_expr_prec 0) c (pp_expr_prec 0) v)
+        arms;
+      (match els with
+      | Some e -> fprintf fmt " ELSE %a" (pp_expr_prec 0) e
+      | None -> ());
+      fprintf fmt " END"
+  | Ast.Scalar_sub q -> fprintf fmt "(%a)" pp_query q
+
+and pp_select_item fmt { Ast.item_expr; item_alias } =
+  match item_alias with
+  | None -> pp_expr_prec 0 fmt item_expr
+  | Some a -> fprintf fmt "%a AS %s" (pp_expr_prec 0) item_expr a
+
+and pp_from_item fmt = function
+  | Ast.From_table (t, None) -> pp_print_string fmt t
+  | Ast.From_table (t, Some a) ->
+      if String.lowercase_ascii t = String.lowercase_ascii a then
+        pp_print_string fmt t
+      else fprintf fmt "%s AS %s" t a
+  | Ast.From_sub (q, a) -> fprintf fmt "(%a) AS %s" pp_query q a
+
+and pp_group_item fmt = function
+  | Ast.G_expr e -> pp_expr_prec 0 fmt e
+  | Ast.G_rollup es ->
+      fprintf fmt "ROLLUP(%a)"
+        (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") (pp_expr_prec 0))
+        es
+  | Ast.G_cube es ->
+      fprintf fmt "CUBE(%a)"
+        (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") (pp_expr_prec 0))
+        es
+  | Ast.G_sets sets ->
+      let pp_set fmt es =
+        fprintf fmt "(%a)"
+          (pp_print_list
+             ~pp_sep:(fun fmt () -> fprintf fmt ", ")
+             (pp_expr_prec 0))
+          es
+      in
+      fprintf fmt "GROUPING SETS(%a)"
+        (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_set)
+        sets
+
+and pp_query fmt (q : Ast.query) =
+  fprintf fmt "SELECT %s" (if q.distinct then "DISTINCT " else "");
+  if q.select_star then pp_print_string fmt "*"
+  else
+    pp_print_list
+      ~pp_sep:(fun fmt () -> fprintf fmt ", ")
+      pp_select_item fmt q.select;
+  fprintf fmt " FROM %a"
+    (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_from_item)
+    q.from;
+  (match q.where with
+  | Some w -> fprintf fmt " WHERE %a" (pp_expr_prec 0) w
+  | None -> ());
+  if q.group_by <> [] then
+    fprintf fmt " GROUP BY %a"
+      (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_group_item)
+      q.group_by;
+  (match q.having with
+  | Some h -> fprintf fmt " HAVING %a" (pp_expr_prec 0) h
+  | None -> ());
+  if q.order_by <> [] then begin
+    let pp_ord fmt (e, asc) =
+      fprintf fmt "%a%s" (pp_expr_prec 0) e (if asc then "" else " DESC")
+    in
+    fprintf fmt " ORDER BY %a"
+      (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_ord)
+      q.order_by
+  end;
+  (match q.limit with Some l -> fprintf fmt " LIMIT %d" l | None -> ());
+  List.iter
+    (fun (all, branch) ->
+      fprintf fmt " UNION %s%a" (if all then "ALL " else "") pp_query branch)
+    q.unions
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+let expr_to_string e = asprintf "%a" pp_expr e
+let query_to_string q = asprintf "%a" pp_query q
+
+let stmt_to_string = function
+  | Ast.Select q -> query_to_string q
+  | Ast.Explain_rewrite q -> "EXPLAIN REWRITE " ^ query_to_string q
+  | Ast.Explain_plan q -> "EXPLAIN " ^ query_to_string q
+  | Ast.Create_summary { cs_name; cs_query } ->
+      Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" cs_name
+        (query_to_string cs_query)
+  | Ast.Drop_summary n -> "DROP SUMMARY TABLE " ^ n
+  | Ast.Refresh_summary n -> "REFRESH SUMMARY TABLE " ^ n
+  | Ast.Create_table { ct_name; ct_cols; ct_constraints } ->
+      let col c =
+        Printf.sprintf "%s %s%s" c.Ast.cd_name
+          (Data.Value.ty_to_string c.Ast.cd_ty)
+          (if c.Ast.cd_not_null then " NOT NULL" else "")
+      in
+      let con = function
+        | Ast.C_primary_key ks ->
+            Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " ks)
+        | Ast.C_unique ks -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " ks)
+        | Ast.C_foreign_key (ks, t, rks) ->
+            Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s (%s)"
+              (String.concat ", " ks) t (String.concat ", " rks)
+      in
+      Printf.sprintf "CREATE TABLE %s (%s)" ct_name
+        (String.concat ", " (List.map col ct_cols @ List.map con ct_constraints))
+  | Ast.Copy_from { cf_table; cf_path; cf_header } ->
+      Printf.sprintf "COPY %s FROM '%s'%s" cf_table cf_path
+        (if cf_header then " WITH HEADER" else "")
+  | Ast.Copy_to { ct2_table; ct2_path } ->
+      Printf.sprintf "COPY %s TO '%s'" ct2_table ct2_path
+  | Ast.Delete { del_table; del_where } ->
+      Printf.sprintf "DELETE FROM %s%s" del_table
+        (match del_where with
+        | None -> ""
+        | Some w -> " WHERE " ^ expr_to_string w)
+  | Ast.Insert { ins_table; ins_cols; ins_rows } ->
+      let cols =
+        match ins_cols with
+        | None -> ""
+        | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+      in
+      let row es =
+        Printf.sprintf "(%s)" (String.concat ", " (List.map expr_to_string es))
+      in
+      Printf.sprintf "INSERT INTO %s%s VALUES %s" ins_table cols
+        (String.concat ", " (List.map row ins_rows))

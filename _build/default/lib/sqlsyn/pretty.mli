@@ -1,0 +1,7 @@
+(** SQL rendering of the {!Ast} types (parse/print round-trips). *)
+
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string
+val stmt_to_string : Ast.stmt -> string
+val pp_query : Format.formatter -> Ast.query -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit

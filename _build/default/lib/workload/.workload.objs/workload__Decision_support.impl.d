@@ -1,0 +1,1 @@
+lib/workload/decision_support.ml:

@@ -1,0 +1,1 @@
+lib/workload/star_schema.ml: Array Catalog Data Float List Printf Random

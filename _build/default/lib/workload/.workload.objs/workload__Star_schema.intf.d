@@ -1,0 +1,1 @@
+lib/workload/star_schema.mli: Catalog Data

@@ -1,0 +1,119 @@
+(* A TPC-D-flavoured decision-support workload over the Figure-1 star
+   schema, standing in for the paper's section-8 experience report
+   ("dramatic improvements in query response times both with TPC-D queries
+   and with a number of customer applications", answered by "a small number
+   of ASTs").
+
+   Ten analyst queries of the classic shapes — pricing summaries, period
+   revenue, local-supplier-style dimension joins, top-N reports — plus the
+   three summary tables a DBA would plausibly create. The bench measures
+   total workload time with rewriting off vs. on. *)
+
+type query = { dq_name : string; dq_sql : string; dq_expect_rewrite : bool }
+
+let summary_tables =
+  [
+    ( "st_sales_cube",
+      (* revenue/quantity at several granularities in one summary *)
+      "SELECT flid, fpgid, year(date) AS year, month(date) AS month, \
+       COUNT(*) AS cnt, SUM(qty) AS sum_qty, \
+       SUM(qty * price * (1 - disc)) AS revenue \
+       FROM Trans \
+       GROUP BY GROUPING SETS((flid, year(date), month(date)), \
+       (fpgid, year(date)), (flid, fpgid, year(date)), (year(date), \
+       month(date)), (year(date)))" );
+    ( "st_account_year",
+      "SELECT faid, year(date) AS year, COUNT(*) AS cnt, \
+       SUM(qty * price * (1 - disc)) AS revenue \
+       FROM Trans GROUP BY faid, year(date)" );
+    ( "st_loc_product",
+      "SELECT flid, fpgid, COUNT(*) AS cnt, SUM(qty) AS sum_qty, \
+       MIN(price) AS min_price, MAX(price) AS max_price \
+       FROM Trans GROUP BY flid, fpgid" );
+  ]
+
+let queries =
+  [
+    {
+      dq_name = "pricing_summary";
+      dq_sql =
+        "SELECT year(date) AS year, COUNT(*) AS order_count, SUM(qty) AS \
+         sum_qty, SUM(qty * price * (1 - disc)) AS revenue FROM Trans GROUP \
+         BY year(date) ORDER BY year";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "monthly_trend";
+      dq_sql =
+        "SELECT year(date) AS year, month(date) AS month, SUM(qty * price * \
+         (1 - disc)) AS revenue FROM Trans GROUP BY year(date), month(date) \
+         ORDER BY year, month";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "product_mix";
+      dq_sql =
+        "SELECT pgname, SUM(qty) AS units FROM Trans, PGroup WHERE fpgid = \
+         pgid GROUP BY pgname ORDER BY units DESC LIMIT 10";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "top_accounts";
+      dq_sql =
+        "SELECT faid, SUM(qty * price * (1 - disc)) AS revenue FROM Trans \
+         WHERE year(date) >= 1995 GROUP BY faid ORDER BY revenue DESC LIMIT 10";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "regional_activity";
+      dq_sql =
+        "SELECT country, state, COUNT(*) AS cnt FROM Trans, Loc WHERE flid \
+         = lid GROUP BY country, state ORDER BY cnt DESC LIMIT 10";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "store_product_extremes";
+      dq_sql =
+        "SELECT flid, fpgid, MIN(price) AS cheapest, MAX(price) AS priciest \
+         FROM Trans GROUP BY flid, fpgid ORDER BY flid, fpgid LIMIT 20";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "busy_periods";
+      dq_sql =
+        "SELECT year(date) AS year, month(date) AS month, COUNT(*) AS cnt \
+         FROM Trans GROUP BY year(date), month(date) HAVING COUNT(*) > 1000 \
+         ORDER BY cnt DESC";
+      dq_expect_rewrite = true;
+    };
+    {
+      dq_name = "yearly_product_share";
+      dq_sql =
+        "SELECT fpgid, year(date) AS year, SUM(qty * price * (1 - disc)) / \
+         (SELECT SUM(qty * price * (1 - disc)) FROM Trans) AS share FROM \
+         Trans GROUP BY fpgid, year(date) ORDER BY share DESC LIMIT 10";
+      dq_expect_rewrite = true;
+      (* even the scalar-subquery denominator routes to the cube: the grand
+         total is re-derived by summing the (year) cuboid *)
+    };
+    {
+      dq_name = "discount_impact";
+      dq_sql =
+        "SELECT year(date) AS year, SUM(qty * price * disc) AS given_away \
+         FROM Trans WHERE disc > 0.1 GROUP BY year(date) ORDER BY year";
+      dq_expect_rewrite = false;
+      (* disc is aggregated away by every summary: must hit base tables *)
+    };
+    {
+      dq_name = "account_growth";
+      dq_sql =
+        "SELECT t1.faid AS faid, t1.revenue AS rev_1995, t2.revenue AS \
+         rev_1996 FROM (SELECT faid, SUM(qty * price * (1 - disc)) AS \
+         revenue FROM Trans WHERE year(date) = 1995 GROUP BY faid) AS t1, \
+         (SELECT faid, SUM(qty * price * (1 - disc)) AS revenue FROM Trans \
+         WHERE year(date) = 1996 GROUP BY faid) AS t2 WHERE t1.faid = \
+         t2.faid ORDER BY rev_1996 DESC LIMIT 10";
+      dq_expect_rewrite = true;
+      (* both inner blocks route to st_account_year *)
+    };
+  ]

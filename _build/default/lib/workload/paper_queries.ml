@@ -1,0 +1,269 @@
+(* The queries and summary-table definitions from the paper's figures,
+   verbatim modulo concrete syntax, against the Figure-1 star schema.
+
+   Naming: [qN] / [astN] follow the paper's numbering; [fig] records which
+   figure each pair illustrates; [expect] says whether a rewrite must be
+   found. Tests assert both the match outcome and result equivalence;
+   benches time original vs. rewritten. *)
+
+type case = {
+  name : string;
+  fig : string;
+  query : string;
+  ast : string;          (* summary-table defining query *)
+  ast_name : string;
+  expect_rewrite : bool;
+  note : string;
+}
+
+(* Figure 2 — regroup from (faid, flid, year) to (faid, state, year) with a
+   Loc rejoin and HAVING re-derivation. *)
+let q1 =
+  "SELECT faid, state, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans, Loc WHERE flid = lid AND country = 'USA' \
+   GROUP BY faid, state, year(date) HAVING COUNT(*) > 100"
+
+let ast1 =
+  "SELECT faid, flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans GROUP BY faid, flid, year(date)"
+
+(* Figure 5 — single SELECT blocks: rejoin PGroup, extra (lossless) child
+   Loc, derivation of qty*price*(1-disc) from value and disc. *)
+let q2 =
+  "SELECT aid, status, qty * price * (1 - disc) AS amt \
+   FROM Trans, PGroup, Acct \
+   WHERE pgid = fpgid AND faid = aid AND price > 100 AND disc > 0.1 \
+   AND pgname = 'TV'"
+
+let ast2 =
+  "SELECT tid, faid, fpgid, status, country, price, qty, disc, \
+   qty * price AS value \
+   FROM Trans, Loc, Acct WHERE lid = flid AND faid = aid AND disc > 0.1"
+
+(* Figure 6 — GROUP BY boxes with exact child matches: re-sum the AST's
+   monthly sums into yearly sums. *)
+let q4 =
+  "SELECT year(date) AS year, SUM(qty * price) AS value \
+   FROM Trans GROUP BY year(date)"
+
+let ast4 =
+  "SELECT year(date) AS year, month(date) AS month, SUM(qty * price) AS value \
+   FROM Trans GROUP BY year(date), month(date)"
+
+(* Figure 7 — GROUP BY boxes with SELECT-only child compensation: the
+   month(date) >= 6 predicate is pulled up, then regroup by year % 100. *)
+let q6 =
+  "SELECT year(date) % 100 AS year2, SUM(qty * price) AS value \
+   FROM Trans WHERE month(date) >= 6 GROUP BY year(date) % 100"
+
+let ast6 =
+  "SELECT year(date) AS year, month(date) AS month, SUM(qty * price) AS value \
+   FROM Trans GROUP BY year(date), month(date)"
+
+(* Figure 8 — rejoin child compensation; the 1:N rule makes regrouping
+   unnecessary, but a regroup is still correct. *)
+let q7 =
+  "SELECT lid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans, Loc WHERE flid = lid AND country = 'USA' \
+   GROUP BY lid, year(date)"
+
+let ast7 =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans GROUP BY flid, year(date)"
+
+(* Figure 10 — nested aggregation (histogram queries), GROUP-BY child
+   compensation handled by the recursive match. Note AST8's outer block
+   keeps [year] as a grouping column: that is what lets the recursive
+   sub-match derive the yearly transaction counts as SUM(tcnt * mcnt)
+   (section 4.1.2 rule (c), second form — tcnt is a grouping column). *)
+let q8 =
+  "SELECT tcnt, COUNT(*) AS ycnt \
+   FROM (SELECT year(date) AS year, COUNT(*) AS tcnt \
+         FROM Trans GROUP BY year(date)) AS t \
+   GROUP BY tcnt"
+
+let ast8 =
+  "SELECT year, tcnt, COUNT(*) AS mcnt \
+   FROM (SELECT year(date) AS year, month(date) AS month, COUNT(*) AS tcnt \
+         FROM Trans GROUP BY year(date), month(date)) AS t \
+   GROUP BY year, tcnt"
+
+(* Figure 11 — SELECT boxes with GROUP BY child compensation and a scalar
+   subquery; the cnt/totcnt expression computing cntpct is section 6's
+   running derivation example. *)
+let q10 =
+  "SELECT flid, COUNT(*) / (SELECT COUNT(*) FROM Trans) AS cntpct \
+   FROM Trans, Loc WHERE flid = lid AND country = 'USA' \
+   GROUP BY flid HAVING COUNT(*) > 2"
+
+let ast10 =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt, \
+   (SELECT COUNT(*) FROM Trans) AS totcnt \
+   FROM Trans GROUP BY flid, year(date)"
+
+(* Table 1 — same as AST10 but with a HAVING clause: translation must
+   expose that the two count predicates differ semantically, so NO match. *)
+let ast10_having =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans GROUP BY flid, year(date) HAVING COUNT(*) > 2"
+
+let q10_simple =
+  "SELECT flid, COUNT(*) AS cnt FROM Trans GROUP BY flid HAVING COUNT(*) > 2"
+
+(* Figure 13 — simple GROUP BY queries against a cube AST. *)
+let ast11 =
+  "SELECT flid, faid, year(date) AS year, month(date) AS month, COUNT(*) AS cnt \
+   FROM Trans \
+   GROUP BY GROUPING SETS((flid, faid, year(date)), (flid, year(date)), \
+   (flid, year(date), month(date)), (year(date), month(date)))"
+
+let q11_1 =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans WHERE year(date) > 1990 GROUP BY flid, year(date)"
+
+let q11_2 =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans WHERE month(date) >= 6 GROUP BY flid, year(date)"
+
+let q11_3 =
+  "SELECT flid, year(date) AS year, month(date) AS month, \
+   COUNT(DISTINCT faid) AS custcnt \
+   FROM Trans GROUP BY flid, year(date), month(date)"
+
+(* Figure 14 — cube queries against a grouping-sets AST. *)
+let ast12 =
+  "SELECT flid, faid, year(date) AS year, month(date) AS month, COUNT(*) AS cnt \
+   FROM Trans \
+   GROUP BY GROUPING SETS((flid, faid, year(date)), (flid, year(date)), \
+   (flid, year(date), month(date)), (year(date)))"
+
+let q12_1 =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans WHERE year(date) > 1990 \
+   GROUP BY GROUPING SETS((flid, year(date)), (year(date)))"
+
+let q12_2 =
+  "SELECT flid, year(date) AS year, COUNT(*) AS cnt \
+   FROM Trans WHERE year(date) > 1990 \
+   GROUP BY GROUPING SETS((flid), (year(date)))"
+
+let cases =
+  [
+    {
+      name = "fig2_q1";
+      fig = "Figure 2";
+      query = q1;
+      ast = ast1;
+      ast_name = "AST1";
+      expect_rewrite = true;
+      note = "regroup + Loc rejoin + HAVING over derived sum(cnt)";
+    };
+    {
+      name = "fig5_q2";
+      fig = "Figure 5";
+      query = q2;
+      ast = ast2;
+      ast_name = "AST2";
+      expect_rewrite = true;
+      note = "SELECT/SELECT: rejoin PGroup, lossless extra child Loc";
+    };
+    {
+      name = "fig6_q4";
+      fig = "Figure 6";
+      query = q4;
+      ast = ast4;
+      ast_name = "AST4";
+      expect_rewrite = true;
+      note = "re-sum monthly sums to yearly sums (rule c)";
+    };
+    {
+      name = "fig7_q6";
+      fig = "Figure 7";
+      query = q6;
+      ast = ast6;
+      ast_name = "AST6";
+      expect_rewrite = true;
+      note = "predicate pull-up month >= 6, regroup by year % 100";
+    };
+    {
+      name = "fig8_q7";
+      fig = "Figure 8";
+      query = q7;
+      ast = ast7;
+      ast_name = "AST7";
+      expect_rewrite = true;
+      note = "rejoin child compensation (1:N Loc join)";
+    };
+    {
+      name = "fig10_q8";
+      fig = "Figure 10";
+      query = q8;
+      ast = ast8;
+      ast_name = "AST8";
+      expect_rewrite = true;
+      note = "nested aggregation: GROUP BY child compensation";
+    };
+    {
+      name = "fig11_q10";
+      fig = "Figure 11";
+      query = q10;
+      ast = ast10;
+      ast_name = "AST10";
+      expect_rewrite = true;
+      note = "scalar subquery + cnt/totcnt derivation";
+    };
+    {
+      name = "tab1_having";
+      fig = "Table 1";
+      query = q10_simple;
+      ast = ast10_having;
+      ast_name = "AST10H";
+      expect_rewrite = false;
+      note = "HAVING in the AST: syntactically equal, semantically different";
+    };
+    {
+      name = "fig13_q11_1";
+      fig = "Figure 13";
+      query = q11_1;
+      ast = ast11;
+      ast_name = "AST11";
+      expect_rewrite = true;
+      note = "cuboid slice, no regroup";
+    };
+    {
+      name = "fig13_q11_2";
+      fig = "Figure 13";
+      query = q11_2;
+      ast = ast11;
+      ast_name = "AST11";
+      expect_rewrite = true;
+      note = "cuboid slice + regroup over pulled-up month >= 6";
+    };
+    {
+      name = "fig13_q11_3";
+      fig = "Figure 13";
+      query = q11_3;
+      ast = ast11;
+      ast_name = "AST11";
+      expect_rewrite = false;
+      note = "COUNT(DISTINCT faid) not derivable from any cuboid";
+    };
+    {
+      name = "fig14_q12_1";
+      fig = "Figure 14";
+      query = q12_1;
+      ast = ast12;
+      ast_name = "AST12";
+      expect_rewrite = true;
+      note = "cube query: per-cuboid exact matches, disjunctive slice";
+    };
+    {
+      name = "fig14_q12_2";
+      fig = "Figure 14";
+      query = q12_2;
+      ast = ast12;
+      ast_name = "AST12";
+      expect_rewrite = true;
+      note = "cube query fallback: slice smallest covering cuboid, regroup by gs";
+    };
+  ]

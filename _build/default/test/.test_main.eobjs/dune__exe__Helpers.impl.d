@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Astmatch Catalog Data Engine List Qgm Sqlsyn

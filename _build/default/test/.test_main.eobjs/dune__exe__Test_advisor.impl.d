@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Catalog Data List Mvstore Printf Sqlsyn String Workload

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Helpers List Printf Qgm

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Astmatch Catalog Data Engine Float Helpers Lazy Printf Qgm Workload

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Data Filename Helpers List Mvstore Printf String Sys Unix

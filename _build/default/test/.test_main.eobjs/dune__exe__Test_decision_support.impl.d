@@ -1,0 +1,1 @@
+test/test_decision_support.ml: Alcotest Data Lazy List Mvstore Printf Sqlsyn Workload

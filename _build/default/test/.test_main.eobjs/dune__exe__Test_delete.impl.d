@@ -1,0 +1,1 @@
+test/test_delete.ml: Alcotest Array Data Engine Gen Helpers List Mvstore Option Printf QCheck QCheck_alcotest

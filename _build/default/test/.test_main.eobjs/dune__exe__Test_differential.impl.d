@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Data Engine Helpers Lazy List Printexc Printf QCheck QCheck_alcotest Qgm String

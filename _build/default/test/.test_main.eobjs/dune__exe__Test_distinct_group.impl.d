@@ -1,0 +1,1 @@
+test/test_distinct_group.ml: Alcotest Engine Helpers Lazy Workload

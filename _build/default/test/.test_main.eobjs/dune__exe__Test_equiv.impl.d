@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Astmatch Data Gen List QCheck QCheck_alcotest Qgm

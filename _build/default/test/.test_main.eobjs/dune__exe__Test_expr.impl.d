@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Data Engine Gen List QCheck QCheck_alcotest Qgm String

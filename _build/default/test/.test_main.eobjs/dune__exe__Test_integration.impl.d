@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Astmatch Data Engine Helpers Lazy List Mvstore Qgm Sqlsyn String Workload

@@ -1,0 +1,1 @@
+test/test_paper_figures.ml: Alcotest Catalog Data Engine Helpers Lazy List Printf Workload

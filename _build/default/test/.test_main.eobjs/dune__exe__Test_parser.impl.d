@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Data Gen List QCheck QCheck_alcotest Sqlsyn String

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Astmatch Engine Helpers Lazy Workload

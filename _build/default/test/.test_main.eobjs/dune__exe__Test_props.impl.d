@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Astmatch Helpers List Option Qgm

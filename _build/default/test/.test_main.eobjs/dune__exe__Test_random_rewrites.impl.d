@@ -1,0 +1,1 @@
+test/test_random_rewrites.ml: Alcotest Array Data Engine Helpers Lazy List Printexc Printf QCheck QCheck_alcotest Random String Workload

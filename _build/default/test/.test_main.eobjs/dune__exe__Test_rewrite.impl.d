@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Astmatch Catalog Data Engine Helpers Lazy List Option Qgm String Workload

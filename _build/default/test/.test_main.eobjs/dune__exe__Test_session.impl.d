@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array Data List Mvstore Sqlsyn String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Catalog Data Engine Gen Helpers List Mvstore Option QCheck QCheck_alcotest

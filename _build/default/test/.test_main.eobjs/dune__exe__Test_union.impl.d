@@ -1,0 +1,1 @@
+test/test_union.ml: Alcotest Array Data Engine Helpers Lazy List Printf Qgm Workload

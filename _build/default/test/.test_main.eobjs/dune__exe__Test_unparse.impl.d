@@ -1,0 +1,1 @@
+test/test_unparse.ml: Alcotest Array Astmatch Catalog Data Engine Helpers Lazy List Printf Qgm Workload

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Data Gen QCheck QCheck_alcotest

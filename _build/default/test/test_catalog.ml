@@ -1,0 +1,146 @@
+(* Catalog: declaration validation, key and RI queries, statistics. *)
+
+module C = Catalog
+module V = Data.Value
+
+let col name ty nullable = { C.col_name = name; col_ty = ty; nullable }
+
+let base () =
+  C.add_table C.empty
+    {
+      C.tbl_name = "dim";
+      tbl_cols = [ col "id" V.Tint false; col "name" V.Tstr true ];
+      primary_key = [ "id" ];
+      unique_keys = [ [ "name" ] ];
+      foreign_keys = [];
+    }
+
+let fact_tbl =
+  {
+    C.tbl_name = "fact";
+    tbl_cols = [ col "k" V.Tint false; col "d" V.Tint false ];
+    primary_key = [ "k" ];
+    unique_keys = [];
+    foreign_keys =
+      [ { C.fk_cols = [ "d" ]; fk_ref_table = "dim"; fk_ref_cols = [ "id" ] } ];
+  }
+
+let test_lookup () =
+  let cat = base () in
+  Alcotest.(check bool) "mem case-insensitive" true (C.mem_table cat "DIM");
+  Alcotest.(check bool) "missing" false (C.mem_table cat "nope");
+  let tbl = C.table_exn cat "dim" in
+  Alcotest.(check (list string)) "columns" [ "id"; "name" ] (C.column_names tbl);
+  Alcotest.(check bool) "find column" true (C.find_column tbl "NAME" <> None)
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_validation () =
+  let cat = base () in
+  expect_invalid (fun () ->
+      C.add_table cat
+        { (C.table_exn cat "dim") with C.tbl_name = "dim" });
+  expect_invalid (fun () ->
+      C.add_table cat
+        {
+          C.tbl_name = "t";
+          tbl_cols = [ col "a" V.Tint false; col "A" V.Tint false ];
+          primary_key = [];
+          unique_keys = [];
+          foreign_keys = [];
+        });
+  expect_invalid (fun () ->
+      C.add_table cat
+        {
+          C.tbl_name = "t";
+          tbl_cols = [ col "a" V.Tint false ];
+          primary_key = [ "nope" ];
+          unique_keys = [];
+          foreign_keys = [];
+        });
+  expect_invalid (fun () ->
+      C.add_table cat
+        {
+          C.tbl_name = "t";
+          tbl_cols = [ col "a" V.Tint false ];
+          primary_key = [];
+          unique_keys = [];
+          foreign_keys =
+            [ { C.fk_cols = [ "a" ]; fk_ref_table = "ghost"; fk_ref_cols = [ "x" ] } ];
+        });
+  (* FK must reference a key: fact.d is not a key of fact *)
+  let cat_with_fact = C.add_table cat fact_tbl in
+  expect_invalid (fun () ->
+      C.add_table cat_with_fact
+        {
+          C.tbl_name = "t";
+          tbl_cols = [ col "a" V.Tint false ];
+          primary_key = [];
+          unique_keys = [];
+          foreign_keys =
+            [ { C.fk_cols = [ "a" ]; fk_ref_table = "fact"; fk_ref_cols = [ "d" ] } ];
+        })
+
+let test_keys () =
+  let cat = C.add_table (base ()) fact_tbl in
+  Alcotest.(check bool) "pk is key" true (C.is_unique_key cat "dim" [ "id" ]);
+  Alcotest.(check bool) "superset of key" true
+    (C.is_unique_key cat "dim" [ "id"; "name" ]);
+  Alcotest.(check bool) "unique key" true (C.is_unique_key cat "dim" [ "name" ]);
+  Alcotest.(check bool) "non-key" false (C.is_unique_key cat "fact" [ "d" ])
+
+let test_ri () =
+  let cat = C.add_table (base ()) fact_tbl in
+  Alcotest.(check bool) "declared RI holds" true
+    (C.ri_holds cat ~from_table:"fact" ~from_cols:[ "d" ] ~to_table:"dim"
+       ~to_cols:[ "id" ]);
+  Alcotest.(check bool) "wrong direction" false
+    (C.ri_holds cat ~from_table:"dim" ~from_cols:[ "id" ] ~to_table:"fact"
+       ~to_cols:[ "k" ]);
+  Alcotest.(check bool) "wrong columns" false
+    (C.ri_holds cat ~from_table:"fact" ~from_cols:[ "k" ] ~to_table:"dim"
+       ~to_cols:[ "id" ])
+
+let test_ri_nullable_fk_rejected () =
+  let cat =
+    C.add_table (base ())
+      {
+        C.tbl_name = "factn";
+        tbl_cols = [ col "k" V.Tint false; col "d" V.Tint true ];
+        primary_key = [ "k" ];
+        unique_keys = [];
+        foreign_keys =
+          [ { C.fk_cols = [ "d" ]; fk_ref_table = "dim"; fk_ref_cols = [ "id" ] } ];
+      }
+  in
+  (* a nullable FK can drop rows in the join: not lossless *)
+  Alcotest.(check bool) "nullable fk" false
+    (C.ri_holds cat ~from_table:"factn" ~from_cols:[ "d" ] ~to_table:"dim"
+       ~to_cols:[ "id" ])
+
+let test_nullability () =
+  let cat = base () in
+  Alcotest.(check bool) "not null col" false (C.column_nullable cat "dim" "id");
+  Alcotest.(check bool) "nullable col" true (C.column_nullable cat "dim" "name");
+  Alcotest.(check bool) "unknown conservative" true
+    (C.column_nullable cat "dim" "ghost")
+
+let test_stats () =
+  let cat = C.set_row_count (base ()) "dim" 42 in
+  Alcotest.(check (option int)) "row count" (Some 42) (C.row_count cat "DIM");
+  Alcotest.(check (option int)) "missing" None (C.row_count cat "fact")
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "unique keys" `Quick test_keys;
+    Alcotest.test_case "referential integrity" `Quick test_ri;
+    Alcotest.test_case "nullable FK not lossless" `Quick
+      test_ri_nullable_fk_rejected;
+    Alcotest.test_case "nullability" `Quick test_nullability;
+    Alcotest.test_case "statistics" `Quick test_stats;
+  ]

@@ -1,0 +1,102 @@
+(* The cardinality/cost model: estimates should track actual cardinalities
+   within an order of magnitude on known shapes, and the routing decisions
+   that depend on them must come out right. *)
+
+module Cost = Astmatch.Cost
+module G = Qgm.Graph
+module R = Data.Relation
+open Helpers
+
+let star_db =
+  lazy
+    (Engine.Db.of_tables
+       (Workload.Star_schema.catalog ())
+       (Workload.Star_schema.generate
+          {
+            Workload.Star_schema.default_params with
+            n_custs = 5;
+            trans_per_acct_year = 50;
+          }))
+
+let estimate sql =
+  let db = Lazy.force star_db in
+  let cat = Engine.Db.catalog db in
+  let g = build cat sql in
+  (Cost.box_rows cat g (G.root g), float_of_int (R.cardinality (Engine.Exec.run db g)))
+
+let within_factor f (est, actual) =
+  est <= actual *. f && actual <= est *. f
+
+let check_estimate ?(factor = 10.) sql =
+  let est, actual = estimate sql in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: estimated %.0f vs actual %.0f" sql est actual)
+    true
+    (within_factor factor (est, Float.max 1. actual))
+
+let test_scan () = check_estimate "select tid from Trans"
+
+let test_key_join () =
+  (* PK-FK join keeps the fact cardinality *)
+  check_estimate "select tid from Trans, Loc where flid = lid"
+
+let test_equality_filter () =
+  check_estimate "select tid from Trans where qty = 3"
+
+let test_group_by_low_card () =
+  check_estimate "select flid, count(*) as c from Trans group by flid"
+
+let test_group_by_compound () =
+  check_estimate ~factor:30.
+    "select flid, year(date) as y, count(*) as c from Trans, Loc where flid \
+     = lid group by flid, year(date)"
+
+let test_join_bigger_than_filter () =
+  (* relative ordering matters more than absolute numbers *)
+  let db = Lazy.force star_db in
+  let cat = Engine.Db.catalog db in
+  let big = build cat "select tid from Trans" in
+  let small = build cat "select tid from Trans where qty = 3" in
+  Alcotest.(check bool) "filter estimated smaller" true
+    (Cost.box_rows cat small (G.root small)
+    < Cost.box_rows cat big (G.root big))
+
+let test_graph_cost_sanity () =
+  let db = Lazy.force star_db in
+  let cat = Engine.Db.catalog db in
+  let qg = build cat "select flid, count(*) as c from Trans group by flid" in
+  let cost = Cost.graph_cost cat qg in
+  let scan = float_of_int (R.cardinality (Engine.Db.get_exn db "Trans")) in
+  Alcotest.(check bool) "at least one scan of Trans" true (cost >= scan);
+  (* a query over a pre-aggregated table of G groups must be much cheaper *)
+  let mv = Engine.Exec.run db qg in
+  let db2 = Engine.Db.put db "mv" mv in
+  let cat2 =
+    Catalog.add_table (Engine.Db.catalog db2)
+      {
+        Catalog.tbl_name = "mv";
+        tbl_cols =
+          [
+            { Catalog.col_name = "flid"; col_ty = Data.Value.Tint; nullable = true };
+            { Catalog.col_name = "c"; col_ty = Data.Value.Tint; nullable = true };
+          ];
+        primary_key = [];
+        unique_keys = [];
+        foreign_keys = [];
+      }
+  in
+  let cat2 = Engine.Db.catalog (Engine.Db.put (Engine.Db.with_catalog db2 cat2) "mv" mv) in
+  let qg2 = build cat2 "select flid, c from mv" in
+  Alcotest.(check bool) "mv plan much cheaper" true
+    (Cost.graph_cost cat2 qg2 *. 10. < cost)
+
+let suite =
+  [
+    Alcotest.test_case "scan estimate" `Quick test_scan;
+    Alcotest.test_case "key join estimate" `Quick test_key_join;
+    Alcotest.test_case "equality filter" `Quick test_equality_filter;
+    Alcotest.test_case "group by low cardinality" `Quick test_group_by_low_card;
+    Alcotest.test_case "compound grouping" `Quick test_group_by_compound;
+    Alcotest.test_case "relative ordering" `Quick test_join_bigger_than_filter;
+    Alcotest.test_case "graph cost sanity" `Quick test_graph_cost_sanity;
+  ]

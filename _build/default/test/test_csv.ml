@@ -1,0 +1,128 @@
+(* CSV encoding/decoding and the COPY statement. *)
+
+module C = Data.Csv
+module R = Data.Relation
+module V = Data.Value
+module Sess = Mvstore.Session
+open Helpers
+
+let types = [ V.Tint; V.Tstr; V.Tfloat; V.Tdate; V.Tbool ]
+
+let test_parse_basic () =
+  let rows =
+    C.parse_string ~types ~header:false
+      "1,hello,2.5,1994-07-15,true\n2,world,0.1,2000-01-01,f\n"
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  Alcotest.(check string) "date parsed" "1994-07-15"
+    (V.to_string (List.hd rows).(3))
+
+let test_parse_quoting () =
+  let rows =
+    C.parse_string ~types:[ V.Tstr; V.Tstr ] ~header:false
+      "\"a,b\",\"say \"\"hi\"\"\"\nplain,\"multi\nline\"\n"
+  in
+  match rows with
+  | [ r1; r2 ] ->
+      Alcotest.(check string) "comma in field" "a,b" (V.to_string r1.(0));
+      Alcotest.(check string) "escaped quote" "say \"hi\"" (V.to_string r1.(1));
+      Alcotest.(check string) "newline in field" "multi\nline"
+        (V.to_string r2.(1))
+  | _ -> Alcotest.fail "row count"
+
+let test_nulls_and_header () =
+  let rows =
+    C.parse_string ~types:[ V.Tint; V.Tstr ] ~header:true "a,b\n1,\n,x\n"
+  in
+  match rows with
+  | [ r1; r2 ] ->
+      Alcotest.(check bool) "empty unquoted is NULL" true (r1.(1) = V.Null);
+      Alcotest.(check bool) "leading NULL" true (r2.(0) = V.Null)
+  | _ -> Alcotest.fail "row count"
+
+let test_quoted_empty_is_empty_string () =
+  let rows =
+    C.parse_string ~types:[ V.Tstr ] ~header:false "\"\"\n"
+  in
+  Alcotest.(check bool) "quoted empty" true ((List.hd rows).(0) = V.Str "")
+
+let test_errors () =
+  let expect f = match f () with
+    | exception C.Csv_error _ -> ()
+    | _ -> Alcotest.fail "expected Csv_error"
+  in
+  expect (fun () -> C.parse_string ~types:[ V.Tint ] ~header:false "abc\n");
+  expect (fun () -> C.parse_string ~types:[ V.Tint; V.Tint ] ~header:false "1\n");
+  expect (fun () -> C.parse_string ~types:[ V.Tstr ] ~header:false "\"open\n")
+
+let test_roundtrip () =
+  let rel =
+    R.create [ "a"; "b" ]
+      [
+        [| i 1; s "plain" |];
+        [| i 2; s "with,comma" |];
+        [| V.Null; s "quote\"inside" |];
+      ]
+  in
+  let text = C.to_string rel in
+  let rows = C.parse_string ~types:[ V.Tint; V.Tstr ] ~header:true text in
+  Alcotest.(check bool) "roundtrip" true
+    (R.bag_equal rel (R.create [ "a"; "b" ] rows))
+
+let test_copy_statements () =
+  let dir = Filename.temp_file "astrw" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "t.csv" in
+  let sn = Sess.create () in
+  ignore
+    (Sess.exec_sql sn
+       "CREATE TABLE t (g INT NOT NULL, v FLOAT); \
+        INSERT INTO t VALUES (1, 1.5), (2, NULL);");
+  (match Sess.exec_sql sn (Printf.sprintf "COPY t TO '%s';" path) with
+  | [ Sess.Msg m ] -> Alcotest.(check bool) "export message" true (String.length m > 0)
+  | _ -> Alcotest.fail "copy to");
+  (* reload into a fresh table, with summary maintenance *)
+  ignore
+    (Sess.exec_sql sn
+       "CREATE TABLE t2 (g INT NOT NULL, v FLOAT); \
+        CREATE SUMMARY TABLE m2 AS SELECT g, COUNT(*) AS c FROM t2 GROUP BY g;");
+  ignore (Sess.exec_sql sn (Printf.sprintf "COPY t2 FROM '%s' WITH HEADER;" path));
+  let rel =
+    match List.rev (Sess.exec_sql sn "SELECT g, v FROM t2 ORDER BY g;") with
+    | Sess.Table r :: _ -> r
+    | _ -> Alcotest.fail "query"
+  in
+  Alcotest.(check int) "loaded rows" 2 (R.cardinality rel);
+  (* the summary absorbed the load incrementally *)
+  let mv =
+    match List.rev (Sess.exec_sql sn "SELECT g, c FROM m2 ORDER BY g;") with
+    | Sess.Table r :: _ -> r
+    | _ -> Alcotest.fail "summary query"
+  in
+  Alcotest.(check int) "summary rows" 2 (R.cardinality mv);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_copy_errors () =
+  let sn = Sess.create () in
+  ignore (Sess.exec_sql sn "CREATE TABLE t (a INT NOT NULL);");
+  (match Sess.exec_sql sn "COPY ghost TO '/tmp/x.csv';" with
+  | exception Sess.Session_error _ -> ()
+  | _ -> Alcotest.fail "unknown table accepted");
+  match Sess.exec_sql sn "COPY t FROM '/nonexistent/file.csv';" with
+  | exception Sess.Session_error _ -> ()
+  | _ -> Alcotest.fail "missing file accepted"
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "quoting" `Quick test_parse_quoting;
+    Alcotest.test_case "nulls and header" `Quick test_nulls_and_header;
+    Alcotest.test_case "quoted empty string" `Quick
+      test_quoted_empty_is_empty_string;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "COPY statements" `Quick test_copy_statements;
+    Alcotest.test_case "COPY errors" `Quick test_copy_errors;
+  ]

@@ -1,0 +1,86 @@
+(* Footnote 2 extension: SELECT DISTINCT and GROUP BY answer each other. *)
+
+open Helpers
+
+let star_db =
+  lazy
+    (Engine.Db.of_tables
+       (Workload.Star_schema.catalog ())
+       (Workload.Star_schema.generate
+          {
+            Workload.Star_schema.default_params with
+            n_custs = 3;
+            trans_per_acct_year = 20;
+          }))
+
+let expect ~rewrite ~query ~ast () =
+  let db = Lazy.force star_db in
+  let rewritten, equal = rewrite_check db ~query ~ast in
+  Alcotest.(check bool) "rewrite decision" rewrite rewritten;
+  if rewritten then Alcotest.(check bool) "results equal" true equal
+
+let test_distinct_from_group () =
+  expect ~rewrite:true
+    ~query:"select distinct flid, faid from Trans"
+    ~ast:"select flid, faid, count(*) as c from Trans group by flid, faid"
+    ()
+
+let test_distinct_from_group_with_filter () =
+  expect ~rewrite:true
+    ~query:"select distinct flid from Trans where flid > 5"
+    ~ast:"select flid, count(*) as c from Trans group by flid"
+    ()
+
+let test_distinct_subset_of_keys_rejected () =
+  (* projecting a strict subset of the grouping set re-introduces
+     duplicates the summary cannot account for *)
+  expect ~rewrite:false
+    ~query:"select distinct flid from Trans"
+    ~ast:"select flid, faid, count(*) as c from Trans group by flid, faid"
+    ()
+
+let test_distinct_filter_on_nonkey_rejected () =
+  expect ~rewrite:false
+    ~query:"select distinct flid from Trans where qty > 2"
+    ~ast:"select flid, count(*) as c from Trans group by flid"
+    ()
+
+let test_keys_only_group_from_distinct () =
+  expect ~rewrite:true
+    ~query:"select distinct flid, faid from Trans"
+    ~ast:"select distinct faid, flid from Trans"
+    ()
+
+let test_group_no_aggs_from_distinct () =
+  (* GROUP BY with no aggregate outputs = DISTINCT *)
+  let db = Lazy.force star_db in
+  let rewritten, equal =
+    rewrite_check db
+      ~query:"select flid, faid from Trans group by flid, faid"
+      ~ast:"select distinct flid, faid from Trans"
+  in
+  Alcotest.(check bool) "rewrite decision" true rewritten;
+  Alcotest.(check bool) "results equal" true equal
+
+let test_group_with_aggs_from_distinct_rejected () =
+  expect ~rewrite:false
+    ~query:"select flid, count(*) as c from Trans group by flid"
+    ~ast:"select distinct flid from Trans"
+    ()
+
+let suite =
+  [
+    Alcotest.test_case "distinct from group" `Quick test_distinct_from_group;
+    Alcotest.test_case "distinct from group + filter" `Quick
+      test_distinct_from_group_with_filter;
+    Alcotest.test_case "subset projection rejected" `Quick
+      test_distinct_subset_of_keys_rejected;
+    Alcotest.test_case "non-key filter rejected" `Quick
+      test_distinct_filter_on_nonkey_rejected;
+    Alcotest.test_case "distinct from distinct" `Quick
+      test_keys_only_group_from_distinct;
+    Alcotest.test_case "keys-only group from distinct" `Quick
+      test_group_no_aggs_from_distinct;
+    Alcotest.test_case "aggregates need more than distinct" `Quick
+      test_group_with_aggs_from_distinct_rejected;
+  ]

@@ -1,0 +1,62 @@
+(* Column-equivalence classes (union-find over equality predicates). *)
+
+module Eq = Astmatch.Equiv
+module E = Qgm.Expr
+
+let test_basic_union () =
+  let t = Eq.of_equalities [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check bool) "a~c" true (Eq.same t "a" "c");
+  Alcotest.(check bool) "a~b" true (Eq.same t "a" "b");
+  Alcotest.(check bool) "d alone" false (Eq.same t "a" "d");
+  Alcotest.(check string) "repr deterministic (smallest)" "a" (Eq.repr t "c")
+
+let test_disjoint_classes () =
+  let t = Eq.of_equalities [ ("a", "b"); ("x", "y") ] in
+  Alcotest.(check bool) "separate" false (Eq.same t "a" "x");
+  Alcotest.(check bool) "within 1" true (Eq.same t "a" "b");
+  Alcotest.(check bool) "within 2" true (Eq.same t "x" "y")
+
+let test_members () =
+  let t = Eq.of_equalities [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check (list string)) "class members" [ "a"; "b"; "c" ]
+    (List.sort compare (Eq.members t "b"));
+  Alcotest.(check (list string)) "singleton" [ "z" ] (Eq.members t "z")
+
+let test_of_preds () =
+  let t =
+    Eq.of_preds
+      [
+        E.Binop ("=", E.Col "faid", E.Col "aid");
+        E.Binop ("<", E.Col "x", E.Const (Data.Value.Int 3));
+        E.Binop ("=", E.Col "p", E.Binop ("+", E.Col "q", E.Const (Data.Value.Int 1)));
+      ]
+  in
+  Alcotest.(check bool) "join equality captured" true (Eq.same t "faid" "aid");
+  Alcotest.(check bool) "non-equality ignored" false (Eq.same t "x" "p");
+  Alcotest.(check bool) "complex equality ignored" false (Eq.same t "p" "q")
+
+let test_canon () =
+  let t = Eq.of_equalities [ ("b", "a") ] in
+  let e = E.Binop ("+", E.Col "b", E.Col "c") in
+  Alcotest.(check bool) "canonicalized" true
+    (Eq.canon t e = E.Binop ("+", E.Col "a", E.Col "c"))
+
+let prop_transitive_closure =
+  QCheck.Test.make ~name:"pairwise chain is fully connected" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 10) (pair (int_bound 8) (int_bound 8)))
+    (fun pairs ->
+      let t = Eq.of_equalities pairs in
+      (* same is an equivalence relation: reflexive + symmetric *)
+      List.for_all
+        (fun (a, b) -> Eq.same t a b && Eq.same t b a && Eq.same t a a)
+        pairs)
+
+let suite =
+  [
+    Alcotest.test_case "basic union" `Quick test_basic_union;
+    Alcotest.test_case "disjoint classes" `Quick test_disjoint_classes;
+    Alcotest.test_case "members" `Quick test_members;
+    Alcotest.test_case "from predicates" `Quick test_of_preds;
+    Alcotest.test_case "canonicalization" `Quick test_canon;
+    QCheck_alcotest.to_alcotest prop_transitive_closure;
+  ]

@@ -1,0 +1,218 @@
+(* Executor semantics: joins with NULLs, 3VL filtering, aggregates,
+   DISTINCT, grouping sets (the paper's Figure 12 table), scalar
+   subqueries, presentation. *)
+
+module R = Data.Relation
+module V = Data.Value
+open Helpers
+
+let db () = tiny_db ()
+
+let test_filter_3vl () =
+  (* v > 6 must drop the NULL v row, not keep it *)
+  let r = run (db ()) "select k from fact where v > 6" in
+  Alcotest.(check (list (list string)))
+    "rows" [ [ "1" ]; [ "2" ]; [ "5" ]; [ "6" ] ]
+    (List.map (List.map V.to_string) (sorted_rows r))
+
+let test_join_basic () =
+  let r =
+    run (db ())
+      "select label, count(*) as c from fact, dims where dim = id group by \
+       label order by label"
+  in
+  Alcotest.(check (list (list string)))
+    "join groups"
+    [ [ "a"; "2" ]; [ "b"; "2" ]; [ "c"; "2" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_join_null_keys_dont_match () =
+  let cat = tiny_catalog () in
+  let dims =
+    R.create [ "id"; "label"; "region" ] [ [| i 1; s "a"; s "e" |] ]
+  in
+  let fact =
+    R.create [ "k"; "dim"; "grp"; "v" ]
+      [ [| i 1; i 1; s "x"; i 1 |]; [| i 2; i 1; s "x"; V.Null |] ]
+  in
+  let db = Engine.Db.of_tables cat [ ("dims", dims); ("fact", fact) ] in
+  (* join on v = id: NULL v must not join with anything *)
+  let r = run db "select k from fact, dims where v = id" in
+  Alcotest.(check int) "null join key drops" 1 (R.cardinality r)
+
+let test_cross_product () =
+  let r = run (db ()) "select fact.k as k, dims.id as d from fact, dims" in
+  Alcotest.(check int) "6*3 rows" 18 (R.cardinality r)
+
+let test_aggregates () =
+  let r =
+    run (db ())
+      "select grp, count(*) as c, count(v) as cv, sum(v) as sv, min(v) as mn, \
+       max(v) as mx, avg(v) as av from fact group by grp order by grp"
+  in
+  Alcotest.(check (list (list string)))
+    "all aggregates"
+    [
+      [ "x"; "3"; "2"; "30"; "10"; "20"; "15.0" ];
+      [ "y"; "3"; "3"; "19"; "5"; "7"; "6.33333" ];
+    ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_distinct_aggregates () =
+  let r =
+    run (db ())
+      "select grp, count(distinct v) as dv, sum(distinct v) as sdv from fact \
+       group by grp order by grp"
+  in
+  Alcotest.(check (list (list string)))
+    "distinct aggregates"
+    [ [ "x"; "2"; "30" ]; [ "y"; "2"; "12" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_grand_total_empty_input () =
+  let r = run (db ()) "select count(*) as c, sum(v) as sv from fact where v > 1000" in
+  Alcotest.(check (list (list string)))
+    "one row, count 0, sum null"
+    [ [ "0"; "NULL" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_grouped_empty_input () =
+  let r = run (db ()) "select grp, count(*) as c from fact where v > 1000 group by grp" in
+  Alcotest.(check int) "no groups" 0 (R.cardinality r)
+
+let test_select_distinct () =
+  let r = run (db ()) "select distinct grp from fact" in
+  Alcotest.(check int) "two values" 2 (R.cardinality r)
+
+let test_scalar_subquery () =
+  let r = run (db ()) "select k, v * (select count(*) from dims) as t from fact where k = 1" in
+  Alcotest.(check (list (list string)))
+    "scaled" [ [ "1"; "30" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_scalar_subquery_empty_is_null () =
+  let r =
+    run (db ())
+      "select k, (select id from dims where label = 'nope') as missing from \
+       fact where k = 1"
+  in
+  Alcotest.(check (list (list string)))
+    "null scalar" [ [ "1"; "NULL" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_order_limit () =
+  let r = run (db ()) "select k from fact order by k desc limit 2" in
+  Alcotest.(check (list (list string)))
+    "top 2 desc" [ [ "6" ]; [ "5" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+(* The paper's Figure 12: grouping-sets semantics on the sample table. *)
+let fig12_catalog () =
+  Catalog.add_table Catalog.empty
+    {
+      Catalog.tbl_name = "T";
+      tbl_cols =
+        [
+          { Catalog.col_name = "flid"; col_ty = V.Tint; nullable = false };
+          { Catalog.col_name = "year"; col_ty = V.Tint; nullable = false };
+          { Catalog.col_name = "faid"; col_ty = V.Tint; nullable = false };
+        ];
+      primary_key = [];
+      unique_keys = [];
+      foreign_keys = [];
+    }
+
+let fig12_rows =
+  [
+    [| i 1; i 1990; i 100 |];
+    [| i 1; i 1991; i 100 |];
+    [| i 1; i 1991; i 200 |];
+    [| i 1; i 1991; i 300 |];
+    [| i 1; i 1992; i 100 |];
+    [| i 1; i 1992; i 400 |];
+    [| i 2; i 1991; i 400 |];
+    [| i 2; i 1991; i 400 |];
+  ]
+
+let test_figure12 () =
+  let db =
+    Engine.Db.of_tables (fig12_catalog ())
+      [ ("T", R.create [ "flid"; "year"; "faid" ] fig12_rows) ]
+  in
+  let r =
+    run db
+      "select flid, year, faid, count(*) as cnt from T group by grouping \
+       sets((flid, year), (flid, faid))"
+  in
+  let expected =
+    R.create [ "flid"; "year"; "faid"; "cnt" ]
+      [
+        (* (flid, year) cuboid *)
+        [| i 1; i 1990; V.Null; i 1 |];
+        [| i 1; i 1991; V.Null; i 3 |];
+        [| i 1; i 1992; V.Null; i 2 |];
+        [| i 2; i 1991; V.Null; i 2 |];
+        (* (flid, faid) cuboid *)
+        [| i 1; V.Null; i 100; i 3 |];
+        [| i 1; V.Null; i 200; i 1 |];
+        [| i 1; V.Null; i 300; i 1 |];
+        [| i 1; V.Null; i 400; i 1 |];
+        [| i 2; V.Null; i 400; i 2 |];
+      ]
+  in
+  check_rows "figure 12 cuboids" expected r
+
+let test_rollup_execution () =
+  let db =
+    Engine.Db.of_tables (fig12_catalog ())
+      [ ("T", R.create [ "flid"; "year"; "faid" ] fig12_rows) ]
+  in
+  let r =
+    run db "select flid, year, count(*) as cnt from T group by rollup(flid, year)"
+  in
+  (* 4 (flid,year) + 2 (flid) + 1 () = 7 rows *)
+  Alcotest.(check int) "rollup rows" 7 (R.cardinality r);
+  let grand =
+    List.filter
+      (fun row -> row.(0) = V.Null && row.(1) = V.Null)
+      (R.rows r)
+  in
+  Alcotest.(check (list (list string)))
+    "grand total" [ [ "NULL"; "NULL"; "8" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list grand))
+
+let test_having () =
+  let r =
+    run (db ()) "select grp, count(v) as c from fact group by grp having count(v) > 2"
+  in
+  Alcotest.(check (list (list string)))
+    "having filters groups" [ [ "y"; "3" ] ]
+    (List.map (List.map V.to_string) (List.map Array.to_list (R.rows r)))
+
+let test_scan_error () =
+  let cat = tiny_catalog () in
+  let db = Engine.Db.of_tables cat [] in
+  match run db "select k from fact" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing table contents should fail"
+
+let suite =
+  [
+    Alcotest.test_case "3vl filtering" `Quick test_filter_3vl;
+    Alcotest.test_case "hash join" `Quick test_join_basic;
+    Alcotest.test_case "null join keys" `Quick test_join_null_keys_dont_match;
+    Alcotest.test_case "cross product" `Quick test_cross_product;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "distinct aggregates" `Quick test_distinct_aggregates;
+    Alcotest.test_case "grand total over empty" `Quick test_grand_total_empty_input;
+    Alcotest.test_case "grouped empty input" `Quick test_grouped_empty_input;
+    Alcotest.test_case "select distinct" `Quick test_select_distinct;
+    Alcotest.test_case "scalar subquery" `Quick test_scalar_subquery;
+    Alcotest.test_case "empty scalar subquery" `Quick
+      test_scalar_subquery_empty_is_null;
+    Alcotest.test_case "order by / limit" `Quick test_order_limit;
+    Alcotest.test_case "figure 12 grouping sets" `Quick test_figure12;
+    Alcotest.test_case "rollup execution" `Quick test_rollup_execution;
+    Alcotest.test_case "having" `Quick test_having;
+    Alcotest.test_case "missing contents" `Quick test_scan_error;
+  ]

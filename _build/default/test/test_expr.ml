@@ -1,0 +1,118 @@
+(* QGM expression algebra: traversals and the semantic normalization the
+   matcher's comparisons rely on. *)
+
+module E = Qgm.Expr
+module V = Data.Value
+
+let c n = E.Const (V.Int n)
+let x = E.Col "x"
+let y = E.Col "y"
+
+let test_normalize_commutes () =
+  Alcotest.(check bool) "a+b = b+a" true
+    (E.equal_norm (E.Binop ("+", x, y)) (E.Binop ("+", y, x)));
+  Alcotest.(check bool) "a*b = b*a" true
+    (E.equal_norm (E.Binop ("*", x, y)) (E.Binop ("*", y, x)));
+  Alcotest.(check bool) "assoc chains" true
+    (E.equal_norm
+       (E.Binop ("+", E.Binop ("+", x, y), c 1))
+       (E.Binop ("+", y, E.Binop ("+", c 1, x))));
+  Alcotest.(check bool) "eq sides" true
+    (E.equal_norm (E.Binop ("=", x, y)) (E.Binop ("=", y, x)));
+  Alcotest.(check bool) "and reorders" true
+    (E.equal_norm
+       (E.Binop ("AND", E.Binop ("=", x, c 1), E.Binop ("=", y, c 2)))
+       (E.Binop ("AND", E.Binop ("=", y, c 2), E.Binop ("=", x, c 1))))
+
+let test_normalize_comparisons () =
+  Alcotest.(check bool) "x > 10 is 10 < x" true
+    (E.equal_norm (E.Binop (">", x, c 10)) (E.Binop ("<", c 10, x)));
+  Alcotest.(check bool) "x >= 10 is 10 <= x" true
+    (E.equal_norm (E.Binop (">=", x, c 10)) (E.Binop ("<=", c 10, x)));
+  Alcotest.(check bool) "minus is not commutative" false
+    (E.equal_norm (E.Binop ("-", x, y)) (E.Binop ("-", y, x)))
+
+let test_constant_folding () =
+  Alcotest.(check bool) "1+2 = 3" true (E.normalize (E.Binop ("+", c 1, c 2)) = c 3);
+  Alcotest.(check bool) "fold within chain" true
+    (E.equal_norm
+       (E.Binop ("+", c 1, E.Binop ("+", x, c 2)))
+       (E.Binop ("+", x, c 3)));
+  Alcotest.(check bool) "double negation" true
+    (E.normalize (E.Unop ("NOT", E.Unop ("NOT", x))) = x)
+
+let test_traversals () =
+  let e = E.Binop ("+", E.Fncall ("f", [ x; c 1 ]), E.Agg ({ E.fn = E.Sum; distinct = false }, Some y)) in
+  Alcotest.(check (list string)) "cols" [ "x"; "y" ] (E.cols e);
+  Alcotest.(check bool) "contains_agg" true (E.contains_agg e);
+  Alcotest.(check bool) "no agg" false (E.contains_agg x);
+  let mapped = E.map_col String.uppercase_ascii e in
+  Alcotest.(check (list string)) "map_col" [ "X"; "Y" ] (E.cols mapped)
+
+let test_subst_col () =
+  let e = E.Binop ("+", x, y) in
+  let ok = E.subst_col (fun _ -> Some (c 1)) e in
+  Alcotest.(check bool) "total subst" true (ok = Some (E.Binop ("+", c 1, c 1)));
+  let fail = E.subst_col (fun n -> if n = "x" then Some (c 1) else None) e in
+  Alcotest.(check bool) "partial subst fails" true (fail = None)
+
+let test_children_rebuild () =
+  let e = E.Case ([ (x, y) ], Some (c 1)) in
+  let kids = E.children e in
+  Alcotest.(check int) "case children" 3 (List.length kids);
+  Alcotest.(check bool) "rebuild identity" true (E.with_children e kids = e)
+
+(* random expressions over two integer variables; check that normalization
+   preserves evaluation *)
+let arb_int_expr =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [
+        Gen.map (fun n -> E.Const (V.Int (n - 8))) (Gen.int_bound 16);
+        Gen.return x;
+        Gen.return y;
+      ]
+  in
+  let gen =
+    Gen.sized (fun n ->
+        let rec go n =
+          if n <= 1 then leaf
+          else
+            Gen.oneof
+              [
+                leaf;
+                Gen.map2 (fun a b -> E.Binop ("+", a, b)) (go (n / 2)) (go (n / 2));
+                Gen.map2 (fun a b -> E.Binop ("*", a, b)) (go (n / 2)) (go (n / 2));
+                Gen.map2 (fun a b -> E.Binop ("-", a, b)) (go (n / 2)) (go (n / 2));
+                Gen.map (fun a -> E.Unop ("-", a)) (go (n - 1));
+              ]
+        in
+        go (min n 10))
+  in
+  QCheck.make ~print:(E.to_string (fun c -> c)) gen
+
+let eval_with vx vy e =
+  Engine.Eval.eval (fun c -> if c = "x" then V.Int vx else V.Int vy) e
+
+let prop_normalize_preserves_eval =
+  QCheck.Test.make ~name:"normalize preserves evaluation" ~count:300
+    QCheck.(triple arb_int_expr small_signed_int small_signed_int)
+    (fun (e, vx, vy) ->
+      V.equal (eval_with vx vy e) (eval_with vx vy (E.normalize e)))
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:300 arb_int_expr
+    (fun e -> E.normalize (E.normalize e) = E.normalize e)
+
+let suite =
+  [
+    Alcotest.test_case "commutative normalization" `Quick test_normalize_commutes;
+    Alcotest.test_case "comparison direction" `Quick test_normalize_comparisons;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "traversals" `Quick test_traversals;
+    Alcotest.test_case "substitution" `Quick test_subst_col;
+    Alcotest.test_case "children/rebuild" `Quick test_children_rebuild;
+    QCheck_alcotest.to_alcotest prop_normalize_preserves_eval;
+    QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+  ]

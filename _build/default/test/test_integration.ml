@@ -1,0 +1,219 @@
+(* Cross-cutting integration tests: multi-hop RI losslessness (snowflake
+   chains), paper-shape assertions on the rewritten SQL, EXPLAIN plan
+   output, and a full scripted session. *)
+
+module Sess = Mvstore.Session
+module R = Data.Relation
+open Helpers
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let star_db =
+  lazy
+    (Engine.Db.of_tables
+       (Workload.Star_schema.catalog ())
+       (Workload.Star_schema.generate
+          {
+            Workload.Star_schema.default_params with
+            n_custs = 4;
+            trans_per_acct_year = 25;
+          }))
+
+(* ---------------- snowflake losslessness ---------------- *)
+
+let test_two_hop_extra_chain_lossless () =
+  (* the AST joins Trans -> Acct -> Cust; the query touches neither
+     dimension. Both extra joins ride declared RI constraints. *)
+  let db = Lazy.force star_db in
+  let rewritten, equal =
+    rewrite_check db
+      ~query:"select tid, qty from Trans where disc > 0.1"
+      ~ast:
+        "select tid, qty, status, segment from Trans, Acct, Cust where faid \
+         = aid and Acct.cid = Cust.cid and disc > 0.1"
+  in
+  Alcotest.(check bool) "chain lossless" true rewritten;
+  Alcotest.(check bool) "results equal" true equal
+
+let test_two_hop_chain_broken_by_filter () =
+  let db = Lazy.force star_db in
+  let rewritten, _ =
+    rewrite_check db
+      ~query:"select tid, qty from Trans"
+      ~ast:
+        "select tid, qty from Trans, Acct, Cust where faid = aid and \
+         Acct.cid = Cust.cid and segment = 'consumer'"
+  in
+  Alcotest.(check bool) "filtered chain is lossy" false rewritten
+
+let test_aggregate_over_snowflake () =
+  let db = Lazy.force star_db in
+  let rewritten, equal =
+    rewrite_check db
+      ~query:
+        "select segment, count(*) as c from Trans, Acct, Cust where faid = \
+         aid and Acct.cid = Cust.cid group by segment"
+      ~ast:
+        "select segment, year(date) as y, count(*) as c from Trans, Acct, \
+         Cust where faid = aid and Acct.cid = Cust.cid group by segment, \
+         year(date)"
+  in
+  Alcotest.(check bool) "snowflake aggregate rewrite" true rewritten;
+  Alcotest.(check bool) "results equal" true equal
+
+(* ---------------- paper-shape assertions ---------------- *)
+
+let rewrite_sql (c : Workload.Paper_queries.case) =
+  let db = Lazy.force star_db in
+  let cat = Engine.Db.catalog db in
+  let qg = build cat c.query in
+  let ag = build cat c.ast in
+  match Astmatch.Navigator.find_matches cat ~query:qg ~ast:ag with
+  | [] -> None
+  | { Astmatch.Navigator.site_box; site_result } :: _ ->
+      let mv_cols =
+        Qgm.Box.output_cols (Qgm.Graph.box ag (Qgm.Graph.root ag))
+      in
+      Some
+        (Qgm.Unparse.to_sql
+           (Astmatch.Rewrite.apply ~query:qg ~target:site_box
+              ~result:site_result ~mv_table:c.ast_name ~mv_cols))
+
+let case name =
+  List.find
+    (fun (c : Workload.Paper_queries.case) -> c.name = name)
+    Workload.Paper_queries.cases
+
+let test_fig8_no_regroup () =
+  (* the 1:N rejoin rule: NewQ7 has no GROUP BY in its compensation *)
+  match rewrite_sql (case "fig8_q7") with
+  | None -> Alcotest.fail "no rewrite"
+  | Some sql ->
+      Alcotest.(check bool) "no regroup box" false (contains sql "GROUP BY")
+
+let test_fig13_slice_no_regroup () =
+  match rewrite_sql (case "fig13_q11_1") with
+  | None -> Alcotest.fail "no rewrite"
+  | Some sql ->
+      Alcotest.(check bool) "slices month IS NULL" true
+        (contains sql "month IS NULL");
+      Alcotest.(check bool) "slices faid IS NULL" true
+        (contains sql "faid IS NULL");
+      Alcotest.(check bool) "no regroup" false (contains sql "GROUP BY")
+
+let test_fig14_disjunctive_slice () =
+  match rewrite_sql (case "fig14_q12_1") with
+  | None -> Alcotest.fail "no rewrite"
+  | Some sql ->
+      Alcotest.(check bool) "disjunction present" true (contains sql " OR ");
+      Alcotest.(check bool) "no regroup" false (contains sql "GROUP BY")
+
+let test_fig14_fallback_regroups_by_sets () =
+  match rewrite_sql (case "fig14_q12_2") with
+  | None -> Alcotest.fail "no rewrite"
+  | Some sql ->
+      Alcotest.(check bool) "multidimensional regroup" true
+        (contains sql "GROUPING SETS")
+
+let test_fig2_resums () =
+  match rewrite_sql (case "fig2_q1") with
+  | None -> Alcotest.fail "no rewrite"
+  | Some sql ->
+      Alcotest.(check bool) "derives HAVING over SUM(cnt)" true
+        (contains sql "SUM(AST1.cnt)")
+
+(* ---------------- EXPLAIN plan ---------------- *)
+
+let test_explain_plan () =
+  let sn = Sess.create () in
+  ignore
+    (Sess.exec_sql sn
+       "CREATE TABLE t (g INT NOT NULL, v INT NOT NULL); \
+        INSERT INTO t VALUES (1, 2), (1, 3), (2, 4);");
+  match Sess.exec_sql sn "EXPLAIN SELECT g, SUM(v) AS s FROM t GROUP BY g;" with
+  | [ Sess.Plan p ] ->
+      Alcotest.(check bool) "group node" true (contains p "GROUP BY g");
+      Alcotest.(check bool) "scan node" true (contains p "SCAN t");
+      Alcotest.(check bool) "work estimate" true
+        (contains p "total estimated work")
+  | _ -> Alcotest.fail "expected a plan"
+
+let test_explain_plan_shows_routed () =
+  let sn = Sess.create () in
+  ignore
+    (Sess.exec_sql sn
+       "CREATE TABLE t (g INT NOT NULL, v INT NOT NULL); \
+        INSERT INTO t VALUES (1, 2), (1, 3), (2, 4); \
+        CREATE SUMMARY TABLE m AS SELECT g, SUM(v) AS s, COUNT(*) AS c FROM \
+        t GROUP BY g;");
+  match Sess.exec_sql sn "EXPLAIN SELECT g, SUM(v) AS s FROM t GROUP BY g;" with
+  | [ Sess.Plan p ] ->
+      Alcotest.(check bool) "plan scans the summary" true (contains p "SCAN m")
+  | _ -> Alcotest.fail "expected a plan"
+
+(* ---------------- scripted session ---------------- *)
+
+let test_scripted_session () =
+  let sn = Sess.create () in
+  let out =
+    Sess.exec_sql sn
+      "CREATE TABLE region (rid INT NOT NULL PRIMARY KEY, rname VARCHAR NOT \
+       NULL); \
+       CREATE TABLE sales (sid INT NOT NULL PRIMARY KEY, rid INT NOT NULL, \
+       amount INT NOT NULL, FOREIGN KEY (rid) REFERENCES region (rid)); \
+       INSERT INTO region VALUES (1, 'east'), (2, 'west'); \
+       INSERT INTO sales VALUES (1, 1, 10), (2, 1, 20), (3, 2, 5); \
+       CREATE SUMMARY TABLE s_by_r AS SELECT rid, COUNT(*) AS c, SUM(amount) \
+       AS total FROM sales GROUP BY rid; \
+       SELECT rname, SUM(amount) AS total FROM sales, region WHERE \
+       sales.rid = region.rid GROUP BY rname ORDER BY rname; \
+       INSERT INTO sales VALUES (4, 2, 50); \
+       DELETE FROM sales WHERE sid = 1; \
+       SELECT rname, SUM(amount) AS total FROM sales, region WHERE \
+       sales.rid = region.rid GROUP BY rname ORDER BY rname;"
+  in
+  let tables =
+    List.filter_map (function Sess.Table r -> Some r | _ -> None) out
+  in
+  match tables with
+  | [ before; after ] ->
+      Alcotest.(check (list (list string)))
+        "before"
+        [ [ "east"; "30" ]; [ "west"; "5" ] ]
+        (List.map (List.map Data.Value.to_string)
+           (List.map Array.to_list (R.rows before)));
+      Alcotest.(check (list (list string)))
+        "after insert+delete"
+        [ [ "east"; "20" ]; [ "west"; "55" ] ]
+        (List.map (List.map Data.Value.to_string)
+           (List.map Array.to_list (R.rows after)));
+      (* the summary absorbed both mutations and is still routing *)
+      let q =
+        Sqlsyn.Parser.parse_query
+          "SELECT rid, SUM(amount) AS total FROM sales GROUP BY rid"
+      in
+      let _, steps = Sess.run_query sn q in
+      Alcotest.(check bool) "still routed via summary" true (steps <> [])
+  | _ -> Alcotest.fail "expected two result tables"
+
+let suite =
+  [
+    Alcotest.test_case "two-hop RI chain" `Quick test_two_hop_extra_chain_lossless;
+    Alcotest.test_case "broken chain" `Quick test_two_hop_chain_broken_by_filter;
+    Alcotest.test_case "snowflake aggregate" `Quick test_aggregate_over_snowflake;
+    Alcotest.test_case "fig8 shape: no regroup" `Quick test_fig8_no_regroup;
+    Alcotest.test_case "fig13 shape: slice only" `Quick
+      test_fig13_slice_no_regroup;
+    Alcotest.test_case "fig14 shape: disjunctive slice" `Quick
+      test_fig14_disjunctive_slice;
+    Alcotest.test_case "fig14 shape: gs regroup" `Quick
+      test_fig14_fallback_regroups_by_sets;
+    Alcotest.test_case "fig2 shape: re-sum" `Quick test_fig2_resums;
+    Alcotest.test_case "explain plan" `Quick test_explain_plan;
+    Alcotest.test_case "explain shows routed plan" `Quick
+      test_explain_plan_shows_routed;
+    Alcotest.test_case "scripted session" `Quick test_scripted_session;
+  ]

@@ -1,0 +1,63 @@
+(* Lexer: token shapes, comments, literals, error positions. *)
+
+module T = Sqlsyn.Token
+module L = Sqlsyn.Lexer
+
+let toks src = List.map fst (L.tokenize src)
+
+let check_toks msg expected src =
+  Alcotest.(check (list string))
+    msg expected
+    (List.map T.to_string (toks src))
+
+let test_operators () =
+  check_toks "comparison ops"
+    [ "<"; "<="; ">"; ">="; "<>"; "<>"; "="; "||"; "<eof>" ]
+    "< <= > >= <> != = ||"
+
+let test_numbers () =
+  (match toks "42 3.25 1e3" with
+  | [ T.Int_lit 42; T.Float_lit 3.25; T.Int_lit 1; T.Ident "e3"; T.Eof ] -> ()
+  | _ -> Alcotest.fail "number tokens");
+  match toks "2.5e2" with
+  | [ T.Float_lit 250.0; T.Eof ] -> ()
+  | _ -> Alcotest.fail "exponent float"
+
+let test_strings () =
+  (match toks "'hello' 'it''s'" with
+  | [ T.Str_lit "hello"; T.Str_lit "it's"; T.Eof ] -> ()
+  | _ -> Alcotest.fail "string tokens");
+  match L.tokenize "'unterminated" with
+  | exception L.Lex_error (_, 0) -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_comments () =
+  check_toks "line comment" [ "a"; "b"; "<eof>" ] "a -- comment\nb";
+  check_toks "block comment" [ "a"; "b"; "<eof>" ] "a /* x /* nested */ y */ b";
+  match L.tokenize "/* open" with
+  | exception L.Lex_error (_, _) -> ()
+  | _ -> Alcotest.fail "unterminated block comment"
+
+let test_idents_and_punct () =
+  check_toks "qualified ref" [ "t"; "."; "col_1"; "<eof>" ] "t.col_1";
+  check_toks "punct" [ "("; ")"; ","; ";"; "*"; "%"; "<eof>" ] "( ) , ; * %"
+
+let test_positions () =
+  let positions = List.map snd (L.tokenize "ab  cd") in
+  Alcotest.(check (list int)) "byte offsets" [ 0; 4; 6 ] positions
+
+let test_bad_char () =
+  match L.tokenize "a ? b" with
+  | exception L.Lex_error (_, 2) -> ()
+  | _ -> Alcotest.fail "expected error at offset 2"
+
+let suite =
+  [
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "identifiers and punctuation" `Quick test_idents_and_punct;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "bad character" `Quick test_bad_char;
+  ]

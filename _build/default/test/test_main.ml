@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "astrw"
+    [
+      ("value", Test_value.suite);
+      ("relation", Test_relation.suite);
+      ("catalog", Test_catalog.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("expr", Test_expr.suite);
+      ("builder", Test_builder.suite);
+      ("exec", Test_exec.suite);
+      ("equiv", Test_equiv.suite);
+      ("subsume", Test_subsume.suite);
+      ("props", Test_props.suite);
+      ("patterns", Test_patterns.suite);
+      ("paper-figures", Test_paper_figures.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("unparse", Test_unparse.suite);
+      ("store", Test_store.suite);
+      ("session", Test_session.suite);
+      ("advisor", Test_advisor.suite);
+      ("random-rewrites", Test_random_rewrites.suite);
+      ("differential", Test_differential.suite);
+      ("distinct-group", Test_distinct_group.suite);
+      ("delete", Test_delete.suite);
+      ("csv", Test_csv.suite);
+      ("cost", Test_cost.suite);
+      ("integration", Test_integration.suite);
+      ("decision-support", Test_decision_support.suite);
+      ("union", Test_union.suite);
+    ]

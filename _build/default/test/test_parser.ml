@@ -1,0 +1,176 @@
+(* Parser: precedence, clause coverage, subqueries, supergroups, DDL/DML,
+   error reporting, and print/parse round-tripping. *)
+
+module A = Sqlsyn.Ast
+module P = Sqlsyn.Parser
+module Pr = Sqlsyn.Pretty
+
+let roundtrip sql = Pr.query_to_string (P.parse_query sql)
+
+let check_rt msg expected sql = Alcotest.(check string) msg expected (roundtrip sql)
+
+let test_precedence () =
+  check_rt "mul binds tighter" "SELECT a + b * c AS x FROM t"
+    "select a + b * c as x from t";
+  check_rt "parens preserved where needed" "SELECT (a + b) * c AS x FROM t"
+    "select (a + b) * c as x from t";
+  check_rt "and/or precedence" "SELECT 1 AS x FROM t WHERE a = 1 OR b = 2 AND c = 3"
+    "select 1 as x from t where a = 1 or b = 2 and c = 3";
+  check_rt "not" "SELECT 1 AS x FROM t WHERE NOT a = 1 AND b = 2"
+    "select 1 as x from t where not a = 1 and b = 2"
+
+let test_expressions () =
+  check_rt "between" "SELECT 1 AS x FROM t WHERE a BETWEEN 1 AND 5"
+    "select 1 as x from t where a between 1 and 5";
+  check_rt "in list" "SELECT 1 AS x FROM t WHERE a IN (1, 2, 3)"
+    "select 1 as x from t where a in (1,2,3)";
+  check_rt "not in" "SELECT 1 AS x FROM t WHERE a NOT IN (1)"
+    "select 1 as x from t where a not in (1)";
+  check_rt "is null" "SELECT 1 AS x FROM t WHERE a IS NULL AND b IS NOT NULL"
+    "select 1 as x from t where a is null and b is not null";
+  check_rt "case" "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END AS x FROM t"
+    "select case when a = 1 then 'one' else 'many' end as x from t";
+  check_rt "unary minus" "SELECT -a AS x FROM t" "select -a as x from t";
+  check_rt "date literal" "SELECT DATE '1994-07-15' AS x FROM t"
+    "select date '1994-07-15' as x from t";
+  check_rt "count distinct" "SELECT COUNT(DISTINCT a) AS c FROM t"
+    "select count(distinct a) as c from t";
+  check_rt "mod operator" "SELECT a % 100 AS x FROM t" "select a % 100 as x from t"
+
+let test_joins () =
+  check_rt "explicit join folded into where"
+    "SELECT 1 AS x FROM a, b WHERE a.id = b.id"
+    "select 1 as x from a join b on a.id = b.id";
+  check_rt "cross join" "SELECT 1 AS x FROM a, b" "select 1 as x from a cross join b";
+  match P.parse_query "select 1 as x from a left join b on a.id = b.id" with
+  | exception P.Parse_error (m, _) ->
+      Alcotest.(check bool) "outer join rejected" true
+        (String.length m > 0)
+  | _ -> Alcotest.fail "outer join should be rejected"
+
+let test_subqueries () =
+  check_rt "from subquery"
+    "SELECT t.a AS a FROM (SELECT a FROM u) AS t"
+    "select t.a as a from (select a from u) t";
+  check_rt "scalar subquery"
+    "SELECT a / (SELECT COUNT(*) FROM u) AS frac FROM t"
+    "select a / (select count(*) from u) as frac from t"
+
+let test_supergroups () =
+  check_rt "rollup" "SELECT a FROM t GROUP BY ROLLUP(a, b)"
+    "select a from t group by rollup(a, b)";
+  check_rt "cube" "SELECT a FROM t GROUP BY CUBE(a, b)"
+    "select a from t group by cube(a, b)";
+  check_rt "grouping sets with empty set"
+    "SELECT a FROM t GROUP BY GROUPING SETS((a, b), (a), ())"
+    "select a from t group by grouping sets((a, b), a, ())";
+  check_rt "mixed items" "SELECT a FROM t GROUP BY a, ROLLUP(b, c)"
+    "select a from t group by a, rollup(b, c)"
+
+let test_clauses () =
+  check_rt "everything"
+    "SELECT DISTINCT a, SUM(b) AS s FROM t WHERE c > 0 GROUP BY a HAVING \
+     SUM(b) > 10 ORDER BY a, 2 DESC LIMIT 5"
+    "select distinct a, sum(b) as s from t where c > 0 group by a having \
+     sum(b) > 10 order by a asc, 2 desc limit 5"
+
+let test_statements () =
+  let script =
+    "CREATE TABLE t (a INT NOT NULL PRIMARY KEY, b VARCHAR(20), UNIQUE (b), \
+     FOREIGN KEY (b) REFERENCES u (name)); INSERT INTO t (a, b) VALUES (1, \
+     'x'), (2, NULL); CREATE SUMMARY TABLE s AS SELECT a FROM t; DROP \
+     SUMMARY TABLE s; REFRESH SUMMARY TABLE s; EXPLAIN REWRITE SELECT a FROM \
+     t;"
+  in
+  let stmts = P.parse_script script in
+  Alcotest.(check int) "statement count" 6 (List.length stmts);
+  match stmts with
+  | [
+   A.Create_table { ct_cols; ct_constraints; _ };
+   A.Insert { ins_rows; _ };
+   A.Create_summary _;
+   A.Drop_summary "s";
+   A.Refresh_summary "s";
+   A.Explain_rewrite _;
+  ] ->
+      Alcotest.(check int) "columns" 2 (List.length ct_cols);
+      Alcotest.(check int) "constraints" 3 (List.length ct_constraints);
+      Alcotest.(check int) "rows" 2 (List.length ins_rows)
+  | _ -> Alcotest.fail "statement shapes"
+
+let test_materialized_view_synonym () =
+  match P.parse_stmt "CREATE MATERIALIZED VIEW v AS SELECT a FROM t" with
+  | A.Create_summary { cs_name = "v"; _ } -> ()
+  | _ -> Alcotest.fail "materialized view synonym"
+
+let test_errors () =
+  let expect_error sql =
+    match P.parse_query sql with
+    | exception P.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ sql)
+  in
+  expect_error "select";
+  expect_error "select a from";
+  expect_error "select a from t where";
+  expect_error "select a from t group by";
+  expect_error "select a from t limit x";
+  expect_error "select case end from t";
+  expect_error "select a from t 42"
+
+(* property: pretty-printing then re-parsing is a fixpoint *)
+let arb_expr =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [
+        Gen.map (fun n -> A.Lit (Data.Value.Int n)) Gen.small_int;
+        Gen.map (fun c -> A.Ref (None, "c" ^ string_of_int c)) (Gen.int_bound 5);
+        Gen.return (A.Lit (Data.Value.Str "s"));
+      ]
+  in
+  let gen =
+    Gen.sized (fun n ->
+        let rec go n =
+          if n <= 1 then leaf
+          else
+            Gen.oneof
+              [
+                leaf;
+                Gen.map2
+                  (fun a b -> A.Binop ("+", a, b))
+                  (go (n / 2)) (go (n / 2));
+                Gen.map2
+                  (fun a b -> A.Binop ("*", a, b))
+                  (go (n / 2)) (go (n / 2));
+                Gen.map2
+                  (fun a b -> A.Binop ("<", a, b))
+                  (go (n / 2)) (go (n / 2));
+                Gen.map (fun a -> A.Unop ("-", a)) (go (n - 1));
+                Gen.map (fun a -> A.Is_null (a, true)) (go (n - 1));
+              ]
+        in
+        go (min n 8))
+  in
+  QCheck.make ~print:Pr.expr_to_string gen
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"expr print/parse fixpoint" ~count:200 arb_expr
+    (fun e ->
+      let printed = Pr.expr_to_string e in
+      let reparsed = P.parse_expr printed in
+      Pr.expr_to_string reparsed = printed)
+
+let suite =
+  [
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "expressions" `Quick test_expressions;
+    Alcotest.test_case "joins" `Quick test_joins;
+    Alcotest.test_case "subqueries" `Quick test_subqueries;
+    Alcotest.test_case "supergroups" `Quick test_supergroups;
+    Alcotest.test_case "clause coverage" `Quick test_clauses;
+    Alcotest.test_case "statements" `Quick test_statements;
+    Alcotest.test_case "materialized view synonym" `Quick
+      test_materialized_view_synonym;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+  ]

@@ -1,0 +1,172 @@
+(* Randomized soundness of the whole matching stack.
+
+   Queries and summary-table definitions are drawn from a grammar of
+   aggregate blocks over the star schema (grouping subsets, aggregate
+   menus, filters, having). For every generated pair, if the navigator
+   finds a match, the rewritten query MUST return the same bag of rows as
+   the original. Unsound matches (the worst possible bug in this system)
+   show up as counterexamples here.
+
+   Two samplers: [related] biases the AST to cover the query (high match
+   rate, exercises compensation construction); [independent] drives mostly
+   negative decisions (exercises the conditions). *)
+
+module R = Data.Relation
+open Helpers
+
+let star_db =
+  lazy
+    (Engine.Db.of_tables
+       (Workload.Star_schema.catalog ())
+       (Workload.Star_schema.generate
+          {
+            Workload.Star_schema.default_params with
+            n_custs = 2;
+            n_locs = 8;
+            trans_per_acct_year = 12;
+            years = [ 1994; 1995 ];
+          }))
+
+let dims =
+  [| "flid"; "faid"; "fpgid"; "year(date)"; "month(date)"; "qty" |]
+
+let aggs =
+  [|
+    "COUNT(*)"; "SUM(qty)"; "SUM(price)"; "COUNT(qty)"; "MIN(price)";
+    "MAX(qty)"; "AVG(qty)"; "COUNT(DISTINCT faid)"; "SUM(qty * price)";
+  |]
+
+let filters =
+  [| "year(date) > 1994"; "month(date) >= 6"; "qty > 2"; "disc > 0.1" |]
+
+type spec = {
+  sp_dims : int list;      (* indexes into dims *)
+  sp_aggs : int list;      (* indexes into aggs *)
+  sp_filters : int list;
+  sp_having : bool;
+  sp_cube : bool;          (* grouping sets over prefixes of the dims *)
+}
+
+let spec_to_sql sp =
+  let dim_exprs = List.map (fun i -> dims.(i)) sp.sp_dims in
+  let dim_items =
+    List.mapi (fun j e -> Printf.sprintf "%s AS d%d" e j) dim_exprs
+  in
+  let agg_items =
+    List.mapi (fun j i -> Printf.sprintf "%s AS a%d" aggs.(i) j) sp.sp_aggs
+  in
+  let where =
+    match List.map (fun i -> filters.(i)) sp.sp_filters with
+    | [] -> ""
+    | fs -> " WHERE " ^ String.concat " AND " fs
+  in
+  let group =
+    match dim_exprs with
+    | [] -> ""
+    | es when sp.sp_cube && List.length es >= 2 ->
+        (* rollup-style prefixes as explicit grouping sets *)
+        let rec prefixes = function
+          | [] -> [ [] ]
+          | l -> l :: prefixes (List.filteri (fun i _ -> i < List.length l - 1) l)
+        in
+        let sets =
+          List.map
+            (fun set -> "(" ^ String.concat ", " set ^ ")")
+            (prefixes es)
+        in
+        " GROUP BY GROUPING SETS(" ^ String.concat ", " sets ^ ")"
+    | es -> " GROUP BY " ^ String.concat ", " es
+  in
+  let having =
+    if sp.sp_having && (dim_exprs <> [] || agg_items <> []) then
+      " HAVING COUNT(*) > 3"
+    else ""
+  in
+  Printf.sprintf "SELECT %s FROM Trans%s%s%s"
+    (String.concat ", " (dim_items @ agg_items))
+    where group having
+
+let gen_subset arr =
+  QCheck.Gen.(
+    list_size (int_range 0 3) (int_bound (Array.length arr - 1))
+    >|= List.sort_uniq compare)
+
+let gen_spec =
+  QCheck.Gen.(
+    let* sp_dims = gen_subset dims in
+    let* sp_aggs =
+      list_size (int_range 1 3) (int_bound (Array.length aggs - 1))
+      >|= List.sort_uniq compare
+    in
+    let* sp_filters = gen_subset filters in
+    let* sp_having = bool in
+    let* sp_cube = QCheck.Gen.frequency [ (3, QCheck.Gen.return false); (1, QCheck.Gen.return true) ] in
+    return { sp_dims; sp_aggs; sp_filters; sp_having; sp_cube })
+
+(* AST biased to cover the query: superset dims, superset aggs plus
+   count-star, subset filters, no having. *)
+let gen_related =
+  QCheck.Gen.(
+    let* q = gen_spec in
+    let* extra_dims = gen_subset dims in
+    let* extra_aggs = gen_subset aggs in
+    let* ast_cube = bool in
+    let ast =
+      {
+        sp_dims = List.sort_uniq compare (q.sp_dims @ extra_dims);
+        sp_aggs = List.sort_uniq compare ((0 :: q.sp_aggs) @ extra_aggs);
+        sp_filters = [];
+        sp_having = false;
+        sp_cube = ast_cube;
+      }
+    in
+    return (q, ast))
+
+let gen_independent =
+  QCheck.Gen.(
+    let* q = gen_spec in
+    let* a = gen_spec in
+    return (q, a))
+
+let print_pair (q, a) =
+  Printf.sprintf "query: %s\nast:   %s" (spec_to_sql q) (spec_to_sql a)
+
+let sound (q, a) =
+  let db = Lazy.force star_db in
+  let query = spec_to_sql q and ast = spec_to_sql a in
+  match rewrite_check db ~query ~ast with
+  | _, equal -> equal
+  | exception e ->
+      QCheck.Test.fail_reportf "exception %s on\nquery: %s\nast: %s"
+        (Printexc.to_string e) query ast
+
+let prop_related =
+  QCheck.Test.make ~name:"rewrites sound (covering ASTs)" ~count:250
+    (QCheck.make ~print:print_pair gen_related)
+    sound
+
+let prop_independent =
+  QCheck.Test.make ~name:"rewrites sound (independent ASTs)" ~count:250
+    (QCheck.make ~print:print_pair gen_independent)
+    sound
+
+(* sanity: the related sampler does produce a healthy number of matches *)
+let test_match_rate () =
+  let db = Lazy.force star_db in
+  let rand = Random.State.make [| 7 |] in
+  let matched = ref 0 and total = 100 in
+  for _ = 1 to total do
+    let q, a = gen_related rand in
+    let rewritten, _ = rewrite_check db ~query:(spec_to_sql q) ~ast:(spec_to_sql a) in
+    if rewritten then incr matched
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "match rate %d/100 above floor" !matched)
+    true (!matched > 30)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_related;
+    QCheck_alcotest.to_alcotest prop_independent;
+    Alcotest.test_case "related sampler match rate" `Quick test_match_rate;
+  ]

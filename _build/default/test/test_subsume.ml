@@ -1,0 +1,57 @@
+(* Predicate subsumption (paper footnote 4: x > 10 subsumes x > 20). *)
+
+module S = Astmatch.Subsume
+module E = Qgm.Expr
+module V = Data.Value
+
+let x = E.Col "x"
+let c n = E.Const (V.Int n)
+let gt e k = E.Binop (">", e, c k)
+let ge e k = E.Binop (">=", e, c k)
+let lt e k = E.Binop ("<", e, c k)
+let le e k = E.Binop ("<=", e, c k)
+
+let check msg expected weak strong =
+  Alcotest.(check bool) msg expected (S.subsumes ~weak ~strong)
+
+let test_equal () =
+  check "identical" true (gt x 10) (gt x 10);
+  check "normalized equal" true (gt x 10) (E.Binop ("<", c 10, x))
+
+let test_lower_bounds () =
+  check "x>10 subsumes x>20" true (gt x 10) (gt x 20);
+  check "x>20 does not subsume x>10" false (gt x 20) (gt x 10);
+  check "x>=10 subsumes x>10" true (ge x 10) (gt x 10);
+  check "x>10 does not subsume x>=10" false (gt x 10) (ge x 10);
+  check "x>=10 subsumes x>=11" true (ge x 10) (ge x 11)
+
+let test_upper_bounds () =
+  check "x<20 subsumes x<10" true (lt x 20) (lt x 10);
+  check "x<10 does not subsume x<20" false (lt x 10) (lt x 20);
+  check "x<=10 subsumes x<10" true (le x 10) (lt x 10);
+  check "x<10 does not subsume x<=10" false (lt x 10) (le x 10)
+
+let test_different_exprs () =
+  check "different column" false (gt x 10) (gt (E.Col "y") 20);
+  check "mixed direction" false (gt x 10) (lt x 20);
+  check "unrelated shapes" false (E.Is_null (x, true)) (gt x 10)
+
+let test_float_bounds () =
+  check "float relax" true
+    (E.Binop (">", x, E.Const (V.Float 0.05)))
+    (E.Binop (">", x, E.Const (V.Float 0.1)))
+
+let test_complex_lhs () =
+  let e = E.Binop ("*", E.Col "a", E.Col "b") in
+  check "expression bound" true (gt e 1) (gt e 5);
+  check "commuted expression" true (gt (E.Binop ("*", E.Col "b", E.Col "a")) 1) (gt e 5)
+
+let suite =
+  [
+    Alcotest.test_case "equal predicates" `Quick test_equal;
+    Alcotest.test_case "lower bounds" `Quick test_lower_bounds;
+    Alcotest.test_case "upper bounds" `Quick test_upper_bounds;
+    Alcotest.test_case "different expressions" `Quick test_different_exprs;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "complex expressions" `Quick test_complex_lhs;
+  ]

@@ -1,0 +1,137 @@
+(* QGM -> SQL: rendered queries must re-elaborate to semantically identical
+   graphs (checked by executing both). *)
+
+module R = Data.Relation
+open Helpers
+
+let star_db =
+  lazy
+    (Engine.Db.of_tables
+       (Workload.Star_schema.catalog ())
+       (Workload.Star_schema.generate
+          {
+            Workload.Star_schema.default_params with
+            n_custs = 3;
+            trans_per_acct_year = 15;
+          }))
+
+let roundtrip sql =
+  let db = Lazy.force star_db in
+  let cat = Engine.Db.catalog db in
+  let g = build cat sql in
+  let printed = Qgm.Unparse.to_sql g in
+  let g2 = build cat printed in
+  let r1 = Engine.Exec.run db g in
+  let r2 = Engine.Exec.run db g2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "roundtrip of %s (printed: %s)" sql printed)
+    true
+    (R.bag_equal_approx r1 r2)
+
+let test_plain () = roundtrip "select tid, qty * price as v from Trans where disc > 0.1"
+
+let test_join () =
+  roundtrip
+    "select tid, pgname from Trans, PGroup where fpgid = pgid and price > 50"
+
+let test_aggregate () =
+  roundtrip
+    "select flid, year(date) as y, count(*) as c, sum(qty) as q from Trans \
+     group by flid, year(date) having count(*) > 2"
+
+let test_grouping_sets () =
+  roundtrip
+    "select flid, year(date) as y, count(*) as c from Trans group by \
+     grouping sets((flid, year(date)), (flid), ())"
+
+let test_nested () =
+  roundtrip
+    "select tcnt, count(*) as n from (select year(date) as y, count(*) as \
+     tcnt from Trans group by year(date)) as t group by tcnt"
+
+let test_scalar_sub () =
+  roundtrip
+    "select flid, count(*) as c, (select count(*) from Trans) as tot from \
+     Trans group by flid"
+
+let test_self_join () =
+  roundtrip
+    "select t1.tid as a, t2.tid as b from Trans as t1, Trans as t2 where \
+     t1.tid = t2.tid and t1.qty > 3"
+
+let test_order_limit () =
+  let db = Lazy.force star_db in
+  let cat = Engine.Db.catalog db in
+  let g = build cat "select tid from Trans order by tid desc limit 4" in
+  let printed = Qgm.Unparse.to_sql g in
+  let g2 = build cat printed in
+  (* ordered comparison: row lists must be identical *)
+  Alcotest.(check (list (list string)))
+    "ordered rows identical"
+    (List.map (List.map Data.Value.to_string)
+       (List.map Array.to_list (R.rows (Engine.Exec.run db g))))
+    (List.map (List.map Data.Value.to_string)
+       (List.map Array.to_list (R.rows (Engine.Exec.run db g2))))
+
+let test_rewritten_graphs_roundtrip () =
+  (* every positive paper figure's REWRITTEN graph must unparse to SQL that
+     re-executes identically *)
+  let db = ref (Lazy.force star_db) in
+  List.iter
+    (fun (c : Workload.Paper_queries.case) ->
+      if c.expect_rewrite then begin
+        let cat = Engine.Db.catalog !db in
+        let qg = build cat c.query in
+        let ag = build cat c.ast in
+        let rel = Engine.Exec.run !db ag in
+        let cols = Qgm.Typing.infer_outputs cat ag in
+        let cat2 =
+          if Catalog.mem_table cat c.ast_name then cat
+          else
+            Catalog.add_table cat
+              {
+                Catalog.tbl_name = c.ast_name;
+                tbl_cols =
+                  List.map
+                    (fun (n, ty) ->
+                      { Catalog.col_name = n; col_ty = ty; nullable = true })
+                    cols;
+                primary_key = [];
+                unique_keys = [];
+                foreign_keys = [];
+              }
+        in
+        db := Engine.Db.put (Engine.Db.with_catalog !db cat2) c.ast_name rel;
+        let cat2 = Engine.Db.catalog !db in
+        let sites = Astmatch.Navigator.find_matches cat2 ~query:qg ~ast:ag in
+        match sites with
+        | [] -> Alcotest.fail (c.name ^ ": expected a match")
+        | { Astmatch.Navigator.site_box; site_result } :: _ ->
+            let g' =
+              Astmatch.Rewrite.apply ~query:qg ~target:site_box
+                ~result:site_result ~mv_table:c.ast_name
+                ~mv_cols:(Array.to_list (R.columns rel))
+            in
+            let printed = Qgm.Unparse.to_sql g' in
+            let g2 = build cat2 printed in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s rewritten SQL roundtrips (%s)" c.name printed)
+              true
+              (R.bag_equal_approx (Engine.Exec.run !db g')
+                 (Engine.Exec.run !db g2))
+      end)
+    Workload.Paper_queries.cases
+
+let suite =
+  [
+    Alcotest.test_case "plain select" `Quick test_plain;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "aggregate block" `Quick test_aggregate;
+    Alcotest.test_case "grouping sets" `Quick test_grouping_sets;
+    Alcotest.test_case "nested blocks" `Quick test_nested;
+    Alcotest.test_case "scalar subquery" `Quick test_scalar_sub;
+    Alcotest.test_case "self join" `Quick test_self_join;
+    Alcotest.test_case "order/limit" `Quick test_order_limit;
+    Alcotest.test_case "rewritten figures roundtrip" `Quick
+      test_rewritten_graphs_roundtrip;
+  ]
