@@ -75,6 +75,78 @@ let time_ms f =
   in
   List.nth (List.sort compare runs) 2
 
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  (Unix.gettimeofday () -. t0) *. 1000.
+
+(* ---------------- machine-readable results ---------------- *)
+(* Hand-rolled JSON: flat scalars, escaped strings, no dependencies. *)
+
+module Json = struct
+  type t =
+    | Str of string
+    | Num of float
+    | Int of int
+    | Bool of bool
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec render buf = function
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Num x ->
+        Buffer.add_string buf
+          (if Float.is_finite x then Printf.sprintf "%.4f" x else "null")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ", ";
+            render buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            render buf (Str k);
+            Buffer.add_string buf ": ";
+            render buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_file path t =
+    let buf = Buffer.create 4096 in
+    render buf t;
+    Buffer.add_char buf '\n';
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf))
+end
+
+let figure_rows : Json.t list ref = ref []
+let workload_rows : Json.t list ref = ref []
+let planning_obj : Json.t ref = ref (Json.Obj [])
+
 let () =
   Printf.printf "=== astrw bench: scale %d ===\n%!" scale;
   let params = W.scaled scale in
@@ -100,6 +172,17 @@ let () =
       match p.p_rewritten with
       | None ->
           if c.Workload.Paper_queries.expect_rewrite then incr fails;
+          figure_rows :=
+            !figure_rows
+            @ [
+                Json.Obj
+                  [
+                    ("fig", Json.Str c.fig);
+                    ("case", Json.Str c.name);
+                    ("rewritten", Json.Bool false);
+                    ("expected", Json.Bool c.expect_rewrite);
+                  ];
+              ];
           Printf.printf "%-10s %-14s %-9s %-7s %10s %10s %9s\n" c.fig c.name
             (if c.expect_rewrite then "MISSING!" else "no (ok)")
             "-" "-" "-" "-"
@@ -111,6 +194,20 @@ let () =
           if not correct then incr fails;
           let t_orig = time_ms (fun () -> Engine.Exec.run p.p_db p.p_query) in
           let t_mv = time_ms (fun () -> Engine.Exec.run p.p_db g') in
+          figure_rows :=
+            !figure_rows
+            @ [
+                Json.Obj
+                  [
+                    ("fig", Json.Str c.fig);
+                    ("case", Json.Str c.name);
+                    ("rewritten", Json.Bool true);
+                    ("expected", Json.Bool c.expect_rewrite);
+                    ("correct", Json.Bool correct);
+                    ("original_ms", Json.Num t_orig);
+                    ("rewritten_ms", Json.Num t_mv);
+                  ];
+              ];
           Printf.printf "%-10s %-14s %-9s %-7s %10.2f %10.2f %8.1fx\n" c.fig
             c.name
             (if c.expect_rewrite then "yes" else "UNEXPECTED")
@@ -169,6 +266,17 @@ let () =
       in
       tot_base := !tot_base +. t_base;
       tot_mv := !tot_mv +. t_mv;
+      workload_rows :=
+        !workload_rows
+        @ [
+            Json.Obj
+              [
+                ("query", Json.Str q.dq_name);
+                ("base_ms", Json.Num t_base);
+                ("rewritten_ms", Json.Num t_mv);
+                ("routed_via", Json.Str !routed);
+              ];
+          ];
       Printf.printf "%-24s %10.1f %10.1f %8.1fx  %s\n" q.dq_name t_base t_mv
         (t_base /. t_mv) !routed)
     Workload.Decision_support.queries;
@@ -226,6 +334,142 @@ let () =
         (String.concat ", " lost))
     ablations;
   print_newline ();
+
+  (* ---------------- PERF4: planning path, N MVs, repeated queries ---- *)
+  (* The plan-cache workload: a store of 32 summary tables and a mix of
+     repeated analyst queries. Compares the uncached path (Rewrite.best
+     over every fresh MV, the pre-plancache behaviour) against the planner
+     cold (miss: filter + match + memoize) and warm (hit: fingerprint +
+     lookup, zero match-function calls). *)
+  Printf.printf "=== PERF4: rewrite-planning path (plan cache + candidate filter) ===\n";
+  let tiny =
+    W.generate { W.default_params with n_custs = 2; trans_per_acct_year = 5 }
+  in
+  let psn = Mvstore.Session.of_tables (W.catalog ()) tiny in
+  let dims =
+    [
+      ("flid", "flid");
+      ("faid", "faid");
+      ("fpgid", "fpgid");
+      ("year(date) AS year", "year(date)");
+      ("month(date) AS month", "month(date)");
+    ]
+  in
+  let subsets =
+    let rec go = function
+      | [] -> [ [] ]
+      | x :: rest ->
+          let r = go rest in
+          r @ List.map (fun s -> x :: s) r
+    in
+    List.filter (fun s -> s <> []) (go dims)
+  in
+  List.iteri
+    (fun i keys ->
+      let sel = String.concat ", " (List.map fst keys) in
+      let grp = String.concat ", " (List.map snd keys) in
+      ignore
+        (Mvstore.Session.exec_sql psn
+           (Printf.sprintf
+              "CREATE SUMMARY TABLE p_mv%d AS SELECT %s, COUNT(*) AS c, \
+               SUM(qty) AS sq FROM Trans GROUP BY %s"
+              i sel grp)))
+    subsets;
+  ignore
+    (Mvstore.Session.exec_sql psn
+       "CREATE SUMMARY TABLE p_mv_recent AS SELECT flid, COUNT(*) AS c, \
+        SUM(qty) AS sq FROM Trans WHERE year(date) >= 1995 GROUP BY flid");
+  let pstore = Mvstore.Session.store psn in
+  let pdb = Mvstore.Session.db psn in
+  let pcat = Engine.Db.catalog pdb in
+  let n_mvs = List.length (Mvstore.Store.rewritable pstore) in
+  let mix =
+    [
+      "SELECT flid, SUM(qty) AS s FROM Trans GROUP BY flid";
+      "SELECT faid, COUNT(*) AS c FROM Trans GROUP BY faid";
+      "SELECT flid, fpgid, SUM(qty) AS s FROM Trans GROUP BY flid, fpgid";
+      "SELECT year(date) AS year, SUM(qty) AS s FROM Trans GROUP BY year(date)";
+      "SELECT flid, year(date) AS year, COUNT(*) AS c FROM Trans \
+       GROUP BY flid, year(date)";
+      "SELECT fpgid, month(date) AS month, SUM(qty) AS s FROM Trans \
+       GROUP BY fpgid, month(date)";
+      "SELECT lid, COUNT(*) AS c FROM Loc GROUP BY lid";
+      "SELECT faid, flid, fpgid, SUM(qty) AS s FROM Trans \
+       GROUP BY faid, flid, fpgid";
+    ]
+  in
+  let graphs = List.map (fun sql -> build pcat sql) mix in
+  let rounds = 20 in
+  let t_uncached =
+    time_once (fun () ->
+        for _ = 1 to rounds do
+          List.iter
+            (fun g ->
+              ignore
+                (Astmatch.Rewrite.best ~cat:pcat g
+                   (Mvstore.Store.rewritable pstore)))
+            graphs
+        done)
+  in
+  let planner = Mvstore.Session.planner psn in
+  let plan_pass () =
+    List.iter
+      (fun g ->
+        ignore
+          (Plancache.Planner.plan planner ~cat:pcat
+             ~epoch:(Mvstore.Store.epoch pstore)
+             ~mvs:(Mvstore.Store.rewritable pstore) g))
+      graphs
+  in
+  let t_cold = time_once plan_pass in
+  Astmatch.Patterns.reset_match_count ();
+  let t_warm = time_once (fun () -> for _ = 1 to rounds do plan_pass () done) in
+  let warm_matches = Astmatch.Patterns.match_count () in
+  let per_q_uncached = t_uncached /. float_of_int (rounds * List.length mix) in
+  let per_q_warm = t_warm /. float_of_int (rounds * List.length mix) in
+  let speedup = per_q_uncached /. per_q_warm in
+  let st = Mvstore.Session.stats psn in
+  Printf.printf "MVs: %d, query mix: %d, rounds: %d\n" n_mvs (List.length mix)
+    rounds;
+  Printf.printf "uncached planning: %8.3f ms/query\n" per_q_uncached;
+  Printf.printf "cold planning:     %8.3f ms/query (miss: filter + match)\n"
+    (t_cold /. float_of_int (List.length mix));
+  Printf.printf "warm planning:     %8.3f ms/query (hit)\n" per_q_warm;
+  Printf.printf "warm speedup:      %8.1fx  (match_boxes calls while warm: %d)\n"
+    speedup warm_matches;
+  Printf.printf "%s\n\n%!" (Plancache.Stats.to_string st);
+  planning_obj :=
+    Json.Obj
+      [
+        ("mvs", Json.Int n_mvs);
+        ("distinct_queries", Json.Int (List.length mix));
+        ("rounds", Json.Int rounds);
+        ("uncached_ms_per_query", Json.Num per_q_uncached);
+        ("cold_ms_per_query", Json.Num (t_cold /. float_of_int (List.length mix)));
+        ("warm_ms_per_query", Json.Num per_q_warm);
+        ("warm_speedup", Json.Num speedup);
+        ("warm_match_boxes_calls", Json.Int warm_matches);
+        ("cache_hits", Json.Int st.Plancache.Stats.hits);
+        ("cache_misses", Json.Int st.Plancache.Stats.misses);
+        ("candidates_attempted", Json.Int st.Plancache.Stats.attempted);
+        ("candidates_filtered", Json.Int st.Plancache.Stats.filtered);
+      ];
+
+  (* ---------------- BENCH_results.json ------------------------------- *)
+  let results_path = "BENCH_results.json" in
+  Json.to_file results_path
+    (Json.Obj
+       [
+         ("scale", Json.Int scale);
+         ("verification_failures", Json.Int !fails);
+         ("figures", Json.List !figure_rows);
+         ("workload", Json.List !workload_rows);
+         ( "workload_total",
+           Json.Obj
+             [ ("base_ms", Json.Num !tot_base); ("rewritten_ms", Json.Num !tot_mv) ] );
+         ("planning", !planning_obj);
+       ]);
+  Printf.printf "wrote %s\n\n%!" results_path;
 
   (* ---------------- bechamel: one Test.make per figure --------------- *)
   Printf.printf "=== bechamel timings (monotonic clock, ns/run) ===\n%!";

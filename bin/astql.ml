@@ -47,8 +47,13 @@ let exec_text session text =
       in
       loop true
 
+let print_stats session =
+  print_endline (Plancache.Stats.to_string (Mvstore.Session.stats session))
+
 let repl session =
-  print_endline "astql — type SQL statements ending with ';'  (\\q to quit)";
+  print_endline
+    "astql — type SQL statements ending with ';'  (\\q to quit, \\stats for \
+     planner counters)";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "astql> " else "   ...> ");
@@ -58,6 +63,10 @@ let repl session =
     | Some line ->
         let trimmed = String.trim line in
         if trimmed = "\\q" || trimmed = "quit" then ()
+        else if trimmed = "\\stats" then begin
+          print_stats session;
+          loop ()
+        end
         else begin
           Buffer.add_string buf line;
           Buffer.add_char buf '\n';
@@ -97,9 +106,13 @@ let scale_arg =
 let files_arg =
   Arg.(value & pos_all non_dir_file [] & info [] ~docv:"FILE")
 
+let stats_flag =
+  let doc = "Print rewrite-planner counters (cache hits/misses, filtered candidates) after execution." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let run_cmd =
   let doc = "Execute SQL script files." in
-  let run no_rewrite files =
+  let run no_rewrite stats files =
     let session = make_session ~rewrite:(not no_rewrite) ~demo:false ~scale:1 in
     let ok =
       List.fold_left
@@ -108,9 +121,11 @@ let run_cmd =
           && ok)
         true files
     in
+    if stats then print_stats session;
     if not ok then Stdlib.exit 1
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ rewrite_flag $ files_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ rewrite_flag $ stats_flag $ files_arg)
 
 let repl_cmd =
   let doc = "Interactive shell over an empty database." in

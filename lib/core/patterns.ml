@@ -167,7 +167,15 @@ let extras_lossless (ctx : Mctx.t) (r_sel : B.select_body)
 (* The recursive match function                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Instrumentation: every match_boxes invocation (memo hits included) ticks
+   this counter. Tests and the bench read it to prove that a plan served
+   from a warm cache performs no matching work at all. *)
+let calls = ref 0
+let match_count () = !calls
+let reset_match_count () = calls := 0
+
 let rec match_boxes (ctx : Mctx.t) e_id r_id =
+  incr calls;
   match Hashtbl.find_opt ctx.Mctx.memo (e_id, r_id) with
   | Some res -> res
   | None ->

@@ -11,19 +11,33 @@ type t = {
   mutable sdb : Engine.Db.t;
   mutable sstore : Store.t;
   mutable srewrite : bool;
+  splanner : Plancache.Planner.t;
 }
 
 type outcome = Msg of string | Table of R.t | Plan of string
 
-let create ?(rewrite = true) () =
-  { sdb = Engine.Db.create Catalog.empty; sstore = Store.empty; srewrite = rewrite }
+let create ?(rewrite = true) ?plan_capacity () =
+  {
+    sdb = Engine.Db.create Catalog.empty;
+    sstore = Store.empty;
+    srewrite = rewrite;
+    splanner = Plancache.Planner.create ?capacity:plan_capacity ();
+  }
 
-let of_tables ?(rewrite = true) cat tables =
-  { sdb = Engine.Db.of_tables cat tables; sstore = Store.empty; srewrite = rewrite }
+let of_tables ?(rewrite = true) ?plan_capacity cat tables =
+  {
+    sdb = Engine.Db.of_tables cat tables;
+    sstore = Store.empty;
+    srewrite = rewrite;
+    splanner = Plancache.Planner.create ?capacity:plan_capacity ();
+  }
 
 let set_rewrite t b = t.srewrite <- b
 let db t = t.sdb
 let store t = t.sstore
+let planner t = t.splanner
+let stats t = Plancache.Stats.copy (Plancache.Planner.stats t.splanner)
+let touch_store t = t.sstore <- Store.touch t.sstore
 
 (* ---------------- DDL ---------------- *)
 
@@ -68,6 +82,7 @@ let do_create_table t name (cols : A.col_def list) constraints =
   in
   t.sdb <- Engine.Db.put (Engine.Db.with_catalog t.sdb cat) name
              (R.empty (Catalog.column_names tbl));
+  touch_store t;  (* DDL invalidates cached plans *)
   Msg (Printf.sprintf "table %s created" name)
 
 (* ---------------- DML ---------------- *)
@@ -220,16 +235,19 @@ let build_query t q =
   try Qgm.Builder.build (Engine.Db.catalog t.sdb) q
   with Qgm.Builder.Sem_error m -> err "semantic error: %s" m
 
+(* The single planning entry point: run_query, EXPLAIN REWRITE and EXPLAIN
+   all route through here, so what EXPLAIN reports is exactly what
+   execution does — including cache behaviour. *)
+let plan_query t g =
+  Plancache.Planner.plan t.splanner ~cat:(Engine.Db.catalog t.sdb)
+    ~epoch:(Store.epoch t.sstore) ~mvs:(Store.rewritable t.sstore) g
+
 let run_query t q =
   let g = build_query t q in
   if not t.srewrite then (Engine.Exec.run t.sdb g, [])
   else
-    match
-      Astmatch.Rewrite.best ~cat:(Engine.Db.catalog t.sdb) g
-        (Store.rewritable t.sstore)
-    with
-    | None -> (Engine.Exec.run t.sdb g, [])
-    | Some (g', steps) -> (Engine.Exec.run t.sdb g', steps)
+    let r = plan_query t g in
+    (Engine.Exec.run t.sdb r.Plancache.Planner.pr_graph, r.pr_steps)
 
 let explain t q =
   let g = build_query t q in
@@ -237,29 +255,49 @@ let explain t q =
   let buf = Buffer.create 256 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "original cost estimate: %.0f\n" (Astmatch.Cost.graph_cost cat g);
-  (match Astmatch.Rewrite.best ~cat g (Store.rewritable t.sstore) with
-  | None ->
+  let r = plan_query t g in
+  let fresh = Store.rewritable t.sstore in
+  addf "cache: %s\n" (if r.Plancache.Planner.pr_hit then "hit" else "miss");
+  addf "candidates: %d attempted, %d filtered (of %d fresh)\n" r.pr_attempted
+    r.pr_filtered (List.length fresh);
+  (match r.pr_steps with
+  | [] ->
       addf "no beneficial summary-table rewrite found\n";
-      (* per-summary diagnostics *)
+      (* per-summary diagnostics; the filter verdicts come from the same
+         candidate index the planner used *)
+      let _, skipped =
+        Plancache.Planner.classify t.splanner ~cat
+          ~epoch:(Store.epoch t.sstore) ~mvs:fresh g
+      in
+      let was_skipped (mv : Astmatch.Rewrite.mv) =
+        List.exists
+          (fun (s : Astmatch.Rewrite.mv) -> s.mv_name = mv.mv_name)
+          skipped
+      in
       List.iter
         (fun (mv : Astmatch.Rewrite.mv) ->
-          let trace = Buffer.create 128 in
-          let sites =
-            Astmatch.Navigator.find_matches ~trace cat ~query:g
-              ~ast:mv.mv_graph
-          in
-          if sites <> [] then
-            addf "  %s: matches, but the rewrite is not estimated cheaper\n"
+          if was_skipped mv then
+            addf "  %s: filtered by the candidate index (footprint or \
+                  eligibility bits)\n"
               mv.mv_name
-          else begin
-            addf "  %s: no match\n" mv.mv_name;
-            String.split_on_char '\n' (Buffer.contents trace)
-            |> List.filter (fun l -> String.trim l <> "")
-            |> List.sort_uniq compare
-            |> List.iter (fun l -> addf "    - %s\n" l)
-          end)
-        (Store.rewritable t.sstore)
-  | Some (g', steps) ->
+          else
+            let trace = Buffer.create 128 in
+            let sites =
+              Astmatch.Navigator.find_matches ~trace cat ~query:g
+                ~ast:mv.mv_graph
+            in
+            if sites <> [] then
+              addf "  %s: matches, but the rewrite is not estimated cheaper\n"
+                mv.mv_name
+            else begin
+              addf "  %s: no match\n" mv.mv_name;
+              String.split_on_char '\n' (Buffer.contents trace)
+              |> List.filter (fun l -> String.trim l <> "")
+              |> List.sort_uniq compare
+              |> List.iter (fun l -> addf "    - %s\n" l)
+            end)
+        fresh
+  | steps ->
       List.iter
         (fun (s : Astmatch.Rewrite.step) ->
           addf "rewrite: box %d answered from %s (%s match)\n" s.target
@@ -267,8 +305,8 @@ let explain t q =
             (if s.exact then "exact" else "compensated"))
         steps;
       addf "rewritten cost estimate: %.0f\n"
-        (Astmatch.Cost.graph_cost cat g');
-      addf "rewritten SQL: %s\n" (Qgm.Unparse.to_sql g'));
+        (Astmatch.Cost.graph_cost cat r.pr_graph);
+      addf "rewritten SQL: %s\n" (Qgm.Unparse.to_sql r.pr_graph));
   Buffer.contents buf
 
 (* ---------------- statements ---------------- *)
@@ -321,10 +359,7 @@ let exec_stmt t stmt =
       (* show the plan that would actually run, after routing *)
       let g =
         if not t.srewrite then g
-        else
-          match Astmatch.Rewrite.best ~cat g (Store.rewritable t.sstore) with
-          | Some (g', _) -> g'
-          | None -> g
+        else (plan_query t g).Plancache.Planner.pr_graph
       in
       Plan (Astmatch.Cost.explain cat g)
 

@@ -12,16 +12,28 @@ type outcome =
 exception Session_error of string
 
 (** [create ()] starts with an empty catalog. [?rewrite] (default true)
-    controls transparent AST routing for SELECTs. *)
-val create : ?rewrite:bool -> unit -> t
+    controls transparent AST routing for SELECTs; [?plan_capacity] bounds
+    the LRU plan cache (default 256 entries). *)
+val create : ?rewrite:bool -> ?plan_capacity:int -> unit -> t
 
 (** Start from an existing catalog and table contents. *)
 val of_tables :
-  ?rewrite:bool -> Catalog.t -> (string * Data.Relation.t) list -> t
+  ?rewrite:bool ->
+  ?plan_capacity:int ->
+  Catalog.t ->
+  (string * Data.Relation.t) list ->
+  t
 
 val set_rewrite : t -> bool -> unit
 val db : t -> Engine.Db.t
 val store : t -> Store.t
+
+(** The session's rewrite planner (candidate index + plan cache). *)
+val planner : t -> Plancache.Planner.t
+
+(** Snapshot of the planning counters: cache hits/misses, invalidations,
+    evictions, candidates attempted vs. filtered. *)
+val stats : t -> Plancache.Stats.t
 
 (** Execute one statement. Raises {!Session_error} (with parse/semantic
     context) on bad input. *)

@@ -30,19 +30,18 @@ type entry = {
 
 module Smap = Map.Make (String)
 
-type t = entry Smap.t
+(* The epoch counts planning-relevant changes: summary DDL/refresh, DML
+   folded through the store, and (via [touch]) table DDL in the session.
+   The plan cache stamps every decision with the epoch it was made under
+   and refuses to serve it under any other — see Plancache.Cache. *)
+type t = { s_map : entry Smap.t; s_epoch : int }
 
-let empty = Smap.empty
-let entries t = List.map snd (Smap.bindings t)
-let find t name = Smap.find_opt (norm name) t
-
-let base_tables g =
-  G.base_leaves g (G.root g)
-  |> List.filter_map (fun id ->
-         match (G.box g id).B.body with
-         | B.Base { bt_table; _ } -> Some (norm bt_table)
-         | _ -> None)
-  |> List.sort_uniq compare
+let empty = { s_map = Smap.empty; s_epoch = 0 }
+let entries t = List.map snd (Smap.bindings t.s_map)
+let find t name = Smap.find_opt (norm name) t.s_map
+let epoch t = t.s_epoch
+let touch t = { t with s_epoch = t.s_epoch + 1 }
+let base_tables g = Plancache.Candidates.footprint g
 
 (* Detect the insert-incremental shape: a single SELECT / GROUP BY / SELECT
    block over base tables, simple grouping, no HAVING, additive-mergeable
@@ -185,7 +184,8 @@ let register_catalog db name cols =
   Engine.Db.with_catalog db (Catalog.add_table cat tbl)
 
 let define store db ~name ~sql =
-  if Smap.mem (norm name) store then err "summary table %s already exists" name;
+  if Smap.mem (norm name) store.s_map then
+    err "summary table %s already exists" name;
   if Catalog.mem_table (Engine.Db.catalog db) name then
     err "a table named %s already exists" name;
   let ast_q =
@@ -212,7 +212,7 @@ let define store db ~name ~sql =
       e_incr = incr_plan_of (Engine.Db.catalog db) graph;
     }
   in
-  (Smap.add (norm name) entry store, db)
+  (touch { store with s_map = Smap.add (norm name) entry store.s_map }, db)
 
 let drop store db name =
   match find store name with
@@ -223,7 +223,7 @@ let drop store db name =
         Engine.Db.with_catalog db
           (Catalog.remove_table (Engine.Db.catalog db) e.e_name)
       in
-      (Smap.remove (norm name) store, db)
+      (touch { store with s_map = Smap.remove (norm name) store.s_map }, db)
 
 let refresh_full store db name =
   match find store name with
@@ -231,7 +231,12 @@ let refresh_full store db name =
   | Some e ->
       let contents = Engine.Exec.run db e.e_graph in
       let db = Engine.Db.put db e.e_name contents in
-      (Smap.add (norm name) { e with e_fresh = true } store, db)
+      ( touch
+          {
+            store with
+            s_map = Smap.add (norm name) { e with e_fresh = true } store.s_map;
+          },
+        db )
 
 (* Merge a delta aggregation into the stored contents, by group key.
    [sign = -1] subtracts (delete maintenance); groups whose COUNT-star
@@ -303,27 +308,29 @@ let merge_delta ?(sign = 1) plan current delta =
 
 let apply_insert store db ~table ~rows =
   let table = norm table in
-  Smap.fold
-    (fun key e (store, db) ->
-      if not (List.mem table e.e_tables) then (store, db)
-      else
-        match (e.e_incr, e.e_fresh) with
-        | Some plan, true ->
-            (* evaluate the definition against a database where the changed
-               table holds only the delta *)
-            let cols =
-              match Catalog.find_table (Engine.Db.catalog db) table with
-              | Some t -> Catalog.column_names t
-              | None -> []
-            in
-            let delta_db = Engine.Db.put db table (R.create cols rows) in
-            let delta = Engine.Exec.run delta_db e.e_graph in
-            let current = Engine.Db.get_exn db e.e_name in
-            let merged = merge_delta plan current delta in
-            (store, Engine.Db.put db e.e_name merged)
-        | _ ->
-            (Smap.add key { e with e_fresh = false } store, db))
-    store (store, db)
+  let smap, db =
+    Smap.fold
+      (fun key e (smap, db) ->
+        if not (List.mem table e.e_tables) then (smap, db)
+        else
+          match (e.e_incr, e.e_fresh) with
+          | Some plan, true ->
+              (* evaluate the definition against a database where the changed
+                 table holds only the delta *)
+              let cols =
+                match Catalog.find_table (Engine.Db.catalog db) table with
+                | Some t -> Catalog.column_names t
+                | None -> []
+              in
+              let delta_db = Engine.Db.put db table (R.create cols rows) in
+              let delta = Engine.Exec.run delta_db e.e_graph in
+              let current = Engine.Db.get_exn db e.e_name in
+              let merged = merge_delta plan current delta in
+              (smap, Engine.Db.put db e.e_name merged)
+          | _ -> (Smap.add key { e with e_fresh = false } smap, db))
+      store.s_map (store.s_map, db)
+  in
+  (touch { store with s_map = smap }, db)
 
 let deletable plan =
   plan.ip_count <> None
@@ -332,25 +339,27 @@ let deletable plan =
 
 let apply_delete store db ~table ~rows =
   let table = norm table in
-  Smap.fold
-    (fun key e (store, db) ->
-      if not (List.mem table e.e_tables) then (store, db)
-      else
-        match (e.e_incr, e.e_fresh) with
-        | Some plan, true when deletable plan ->
-            let cols =
-              match Catalog.find_table (Engine.Db.catalog db) table with
-              | Some t -> Catalog.column_names t
-              | None -> []
-            in
-            let delta_db = Engine.Db.put db table (R.create cols rows) in
-            let delta = Engine.Exec.run delta_db e.e_graph in
-            let current = Engine.Db.get_exn db e.e_name in
-            let merged = merge_delta ~sign:(-1) plan current delta in
-            (store, Engine.Db.put db e.e_name merged)
-        | _ ->
-            (Smap.add key { e with e_fresh = false } store, db))
-    store (store, db)
+  let smap, db =
+    Smap.fold
+      (fun key e (smap, db) ->
+        if not (List.mem table e.e_tables) then (smap, db)
+        else
+          match (e.e_incr, e.e_fresh) with
+          | Some plan, true when deletable plan ->
+              let cols =
+                match Catalog.find_table (Engine.Db.catalog db) table with
+                | Some t -> Catalog.column_names t
+                | None -> []
+              in
+              let delta_db = Engine.Db.put db table (R.create cols rows) in
+              let delta = Engine.Exec.run delta_db e.e_graph in
+              let current = Engine.Db.get_exn db e.e_name in
+              let merged = merge_delta ~sign:(-1) plan current delta in
+              (smap, Engine.Db.put db e.e_name merged)
+          | _ -> (Smap.add key { e with e_fresh = false } smap, db))
+      store.s_map (store.s_map, db)
+  in
+  (touch { store with s_map = smap }, db)
 
 let rewritable store =
   List.filter_map

@@ -36,6 +36,17 @@ val empty : t
 val entries : t -> entry list
 val find : t -> string -> entry option
 
+(** The store's planning epoch. Every operation that could change a
+    routing decision — {!define}, {!drop}, {!refresh_full},
+    {!apply_insert}, {!apply_delete}, and (via {!touch}) session-level
+    DDL — bumps it; the plan cache refuses to serve a decision stamped
+    with any other epoch, so a stale plan is never executed. *)
+val epoch : t -> int
+
+(** Bump the epoch without changing the entries (for invalidation events
+    the store does not itself observe, e.g. CREATE TABLE). *)
+val touch : t -> t
+
 exception Mv_error of string
 
 (** [define store db ~name ~sql] parses and elaborates the defining query,

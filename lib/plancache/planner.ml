@@ -1,0 +1,85 @@
+type decision =
+  | No_rewrite
+  | Rewrite of Qgm.Graph.t * Astmatch.Rewrite.step list
+
+type entry = { en_decision : decision; en_attempted : int; en_filtered : int }
+
+type t = {
+  p_cache : entry Cache.t;
+  p_stats : Stats.t;
+  mutable p_index : Candidates.t;
+  mutable p_index_epoch : int;
+}
+
+type report = {
+  pr_graph : Qgm.Graph.t;
+  pr_steps : Astmatch.Rewrite.step list;
+  pr_hit : bool;
+  pr_fingerprint : string;
+  pr_attempted : int;
+  pr_filtered : int;
+}
+
+let create ?(capacity = 256) () =
+  {
+    p_cache = Cache.create ~capacity;
+    p_stats = Stats.create ();
+    p_index = Candidates.build [];
+    p_index_epoch = min_int;
+  }
+
+let stats t = t.p_stats
+let cache_length t = Cache.length t.p_cache
+
+let index t ~epoch mvs =
+  if t.p_index_epoch <> epoch then begin
+    t.p_index <- Candidates.build mvs;
+    t.p_index_epoch <- epoch
+  end;
+  t.p_index
+
+let classify t ~cat ~epoch ~mvs g = Candidates.eligible (index t ~epoch mvs) cat g
+
+let report_of g fp ~hit (e : entry) =
+  let graph, steps =
+    match e.en_decision with
+    | No_rewrite -> (g, [])
+    | Rewrite (g', steps) -> (g', steps)
+  in
+  {
+    pr_graph = graph;
+    pr_steps = steps;
+    pr_hit = hit;
+    pr_fingerprint = fp;
+    pr_attempted = e.en_attempted;
+    pr_filtered = e.en_filtered;
+  }
+
+let plan t ~cat ~epoch ~mvs g =
+  let st = t.p_stats in
+  let fp = Qgm.Fingerprint.of_graph g in
+  match Cache.find t.p_cache ~epoch fp with
+  | Cache.Hit e ->
+      st.Stats.hits <- st.Stats.hits + 1;
+      report_of g fp ~hit:true e
+  | (Cache.Stale | Cache.Absent) as l ->
+      if l = Cache.Stale then st.Stats.invalidated <- st.Stats.invalidated + 1;
+      st.Stats.misses <- st.Stats.misses + 1;
+      let kept, skipped = classify t ~cat ~epoch ~mvs g in
+      st.Stats.attempted <- st.Stats.attempted + List.length kept;
+      st.Stats.filtered <- st.Stats.filtered + List.length skipped;
+      let decision =
+        match Astmatch.Rewrite.best ~cat g kept with
+        | None -> No_rewrite
+        | Some (g', steps) -> Rewrite (g', steps)
+      in
+      let e =
+        {
+          en_decision = decision;
+          en_attempted = List.length kept;
+          en_filtered = List.length skipped;
+        }
+      in
+      st.Stats.evicted <- st.Stats.evicted + Cache.put t.p_cache ~epoch fp e;
+      st.Stats.inserted <- st.Stats.inserted + 1;
+      report_of g fp ~hit:false e

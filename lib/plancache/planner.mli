@@ -1,0 +1,59 @@
+(** The rewrite-planning entry point: candidate filtering + memoized
+    routing decisions.
+
+    [plan] fingerprints the query ({!Qgm.Fingerprint}), serves a cached
+    decision when the store epoch still matches, and otherwise filters the
+    summary tables through the candidate index ({!Candidates}) before
+    handing only the plausible ones to {!Astmatch.Rewrite.best}. Negative
+    decisions ("no beneficial rewrite") are cached too, so a hot query
+    that cannot be rewritten stops paying for matching as well. *)
+
+type t
+
+type decision =
+  | No_rewrite
+  | Rewrite of Qgm.Graph.t * Astmatch.Rewrite.step list
+
+type report = {
+  pr_graph : Qgm.Graph.t;  (** graph to execute (the input when unrewritten) *)
+  pr_steps : Astmatch.Rewrite.step list;
+  pr_hit : bool;           (** served from the plan cache *)
+  pr_fingerprint : string;
+  pr_attempted : int;      (** candidates that reached the matcher *)
+  pr_filtered : int;       (** candidates skipped by the index *)
+}
+(** On a cache hit, [pr_attempted]/[pr_filtered] report the counts from
+    the planning that produced the entry (nothing was attempted now). *)
+
+(** [create ?capacity ()] — [capacity] bounds the LRU plan cache
+    (default 256). *)
+val create : ?capacity:int -> unit -> t
+
+(** [plan t ~cat ~epoch ~mvs g] routes [g] through the fresh summary
+    tables [mvs]. [epoch] must change whenever [mvs], their contents, the
+    catalog, or base-table data change (see {!Cache}); the candidate index
+    is rebuilt lazily per epoch. *)
+val plan :
+  t ->
+  cat:Catalog.t ->
+  epoch:int ->
+  mvs:Astmatch.Rewrite.mv list ->
+  Qgm.Graph.t ->
+  report
+
+(** Partition [mvs] as the planner's candidate filter would for this query
+    (diagnostics for EXPLAIN REWRITE). *)
+val classify :
+  t ->
+  cat:Catalog.t ->
+  epoch:int ->
+  mvs:Astmatch.Rewrite.mv list ->
+  Qgm.Graph.t ->
+  Astmatch.Rewrite.mv list * Astmatch.Rewrite.mv list
+
+(** Live counters (mutated by subsequent planning; {!Stats.copy} to
+    snapshot). *)
+val stats : t -> Stats.t
+
+(** Entries currently cached. *)
+val cache_length : t -> int

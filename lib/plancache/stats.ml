@@ -1,0 +1,39 @@
+type t = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidated : int;
+  mutable evicted : int;
+  mutable inserted : int;
+  mutable attempted : int;
+  mutable filtered : int;
+}
+
+let create () =
+  {
+    hits = 0;
+    misses = 0;
+    invalidated = 0;
+    evicted = 0;
+    inserted = 0;
+    attempted = 0;
+    filtered = 0;
+  }
+
+let reset t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidated <- 0;
+  t.evicted <- 0;
+  t.inserted <- 0;
+  t.attempted <- 0;
+  t.filtered <- 0
+
+let copy t = { t with hits = t.hits }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "plan cache: %d hit(s), %d miss(es), %d invalidated, %d evicted@\n\
+     candidates: %d attempted, %d filtered"
+    t.hits t.misses t.invalidated t.evicted t.attempted t.filtered
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** Planning-observability counters, accumulated over a planner's life.
+
+    All counts are monotonic except through {!reset}. [hits]/[misses] are
+    plan-cache lookups (a hit serves a memoized decision — positive or
+    negative — with no matching work); [invalidated] counts cached entries
+    dropped because the store epoch moved; [evicted] counts LRU evictions;
+    [attempted]/[filtered] count summary-table candidates that respectively
+    reached the match function or were rejected by the candidate index
+    before any matching ran. *)
+
+type t = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidated : int;
+  mutable evicted : int;
+  mutable inserted : int;
+  mutable attempted : int;
+  mutable filtered : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** An independent snapshot (callers may keep it across planner activity). *)
+val copy : t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Canonical QGM fingerprints for plan caching.
+
+    Two graphs with the same fingerprint must be plan-interchangeable: a
+    rewrite chosen for one is a correct plan for the other, producing the
+    same output columns in the same order. The canonical form therefore
+    alpha-renames quantifiers (per-box positional indices, so builder
+    counters never leak into the key), normalizes and *sorts* predicates
+    (WHERE is an order-free conjunction), and keeps everything whose order
+    is observable — output columns, grouping keys, UNION branches and the
+    presentation (ORDER BY / LIMIT) — exactly as written. Table and column
+    *references* are case-folded (the catalog is case-insensitive) while
+    output display names are preserved verbatim. *)
+
+(** The canonical serialized form (stable across processes; useful for
+    debugging cache behaviour). *)
+val canonical : Graph.t -> string
+
+(** MD5 hex digest of {!canonical} — the plan-cache key. *)
+val of_graph : Graph.t -> string

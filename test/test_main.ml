@@ -28,4 +28,6 @@ let () =
       ("integration", Test_integration.suite);
       ("decision-support", Test_decision_support.suite);
       ("union", Test_union.suite);
+      ("fingerprint", Test_fingerprint.suite);
+      ("plancache", Test_plancache.suite);
     ]
