@@ -455,6 +455,62 @@ let () =
         ("candidates_filtered", Json.Int st.Plancache.Stats.filtered);
       ];
 
+  (* ---------------- PERF5: runtime-verification overhead ------------- *)
+  (* Cost of Session verify modes: every verified query executes the base
+     plan too, so Always pays roughly base+mv per rewritten query and
+     Sampled p a p-weighted blend. Decision-support mix on small data (the
+     overhead ratio, not absolute time, is the point). *)
+  Printf.printf "=== PERF5: runtime result verification overhead ===\n";
+  let verify_modes =
+    [
+      ("off", Mvstore.Session.Off);
+      ("sample:0.25", Mvstore.Session.Sampled 0.25);
+      ("always", Mvstore.Session.Always);
+    ]
+  in
+  let vrounds = 10 in
+  let verify_rows =
+    List.map
+      (fun (label, mode) ->
+        let vsn = Mvstore.Session.of_tables ~verify:mode (W.catalog ()) tiny in
+        List.iter
+          (fun (name, sql) ->
+            ignore
+              (Mvstore.Session.exec_sql vsn
+                 (Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" name sql)))
+          Workload.Decision_support.summary_tables;
+        let parsed =
+          List.map
+            (fun (q : Workload.Decision_support.query) ->
+              Sqlsyn.Parser.parse_query q.dq_sql)
+            Workload.Decision_support.queries
+        in
+        let t =
+          time_once (fun () ->
+              for _ = 1 to vrounds do
+                List.iter
+                  (fun q -> ignore (Mvstore.Session.run_query vsn q))
+                  parsed
+              done)
+        in
+        let st = Mvstore.Session.stats vsn in
+        let per_q = t /. float_of_int (vrounds * List.length parsed) in
+        Printf.printf
+          "verify %-12s %8.3f ms/query  (%d verification run(s), %d \
+           mismatch(es))\n"
+          label per_q st.Plancache.Stats.verify_runs
+          st.Plancache.Stats.verify_mismatches;
+        ( label,
+          Json.Obj
+            [
+              ("ms_per_query", Json.Num per_q);
+              ("verify_runs", Json.Int st.Plancache.Stats.verify_runs);
+              ("verify_mismatches", Json.Int st.Plancache.Stats.verify_mismatches);
+            ] ))
+      verify_modes
+  in
+  print_newline ();
+
   (* ---------------- BENCH_results.json ------------------------------- *)
   let results_path = "BENCH_results.json" in
   Json.to_file results_path
@@ -468,6 +524,7 @@ let () =
            Json.Obj
              [ ("base_ms", Json.Num !tot_base); ("rewritten_ms", Json.Num !tot_mv) ] );
          ("planning", !planning_obj);
+         ("verification", Json.Obj verify_rows);
        ]);
   Printf.printf "wrote %s\n\n%!" results_path;
 

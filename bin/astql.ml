@@ -6,7 +6,13 @@
      astql repl             interactive shell (empty database)
      astql demo             interactive shell preloaded with the paper's
                             star schema and generated data
-     astql advise FILE      recommend summary tables for a query workload *)
+     astql advise FILE      recommend summary tables for a query workload
+
+   Error containment: a failing statement mid-script — lexical, parse,
+   semantic or runtime — prints a classified error with line/column context
+   and execution continues with the next statement; the REPL never dies on
+   bad input. Non-interactive runs exit non-zero at end-of-script when
+   anything failed. *)
 
 let print_outcome = function
   | Mvstore.Session.Msg m -> print_endline m
@@ -14,46 +20,95 @@ let print_outcome = function
       print_endline (Data.Relation.to_string rel)
   | Mvstore.Session.Plan p -> print_string p
 
-(* Execute statements one at a time, printing each outcome as it happens,
-   so output (and effects) of statements before a failure are preserved.
-   Returns false when anything failed. *)
-let exec_text session text =
-  match Sqlsyn.Parser.script_start text with
-  | exception Sqlsyn.Lexer.Lex_error (m, p) ->
-      Printf.printf "lexical error at offset %d: %s\n" p m;
+(* line/column of a byte offset, for error context *)
+let pos_context text off =
+  let off = min (max off 0) (String.length text) in
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < off && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    text;
+  Printf.sprintf "line %d, column %d" !line (off - !bol + 1)
+
+(* Execute one parsed statement; print its outcome or a classified error.
+   Returns false when the statement failed. Nothing may escape: an
+   unclassified exception is reported as internal and the script goes on. *)
+let exec_one session stmt =
+  match print_outcome (Mvstore.Session.exec_stmt session stmt) with
+  | () -> true
+  | exception Mvstore.Session.Session_error m ->
+      Printf.printf "error: %s\n" m;
       false
-  | cursor ->
-      let rec loop ok =
-        match Sqlsyn.Parser.script_next cursor with
-        | None -> ok
-        | exception Sqlsyn.Parser.Parse_error (m, p) ->
-            Printf.printf "parse error at offset %d: %s\n" p m;
-            false
-        | exception Sqlsyn.Lexer.Lex_error (m, p) ->
-            Printf.printf "lexical error at offset %d: %s\n" p m;
-            false
-        | Some stmt -> (
-            match print_outcome (Mvstore.Session.exec_stmt session stmt) with
-            | () -> loop ok
-            | exception Mvstore.Session.Session_error m ->
-                Printf.printf "error: %s\n" m;
-                loop false
-            | exception Engine.Exec.Exec_error m ->
-                Printf.printf "execution error: %s\n" m;
-                loop false
-            | exception Engine.Eval.Eval_error m ->
-                Printf.printf "evaluation error: %s\n" m;
-                loop false)
-      in
-      loop true
+  | exception Engine.Exec.Exec_error m ->
+      Printf.printf "execution error: %s\n" m;
+      false
+  | exception Engine.Eval.Eval_error m ->
+      Printf.printf "evaluation error: %s\n" m;
+      false
+  | exception Engine.Reference.Reference_error m ->
+      Printf.printf "reference-engine error: %s\n" m;
+      false
+  | exception Mvstore.Store.Mv_error m ->
+      Printf.printf "summary-table error: %s\n" m;
+      false
+  | exception Division_by_zero ->
+      print_endline "error: division by zero";
+      false
+  | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+  | exception e ->
+      Printf.printf "internal error: %s (statement skipped)\n"
+        (Printexc.to_string e);
+      false
+
+(* Execute statements one at a time, printing each outcome as it happens.
+   On a lexical/parse error, report it with position context and resume
+   after the next ';' — a broken statement never aborts the rest of the
+   script. Returns false when anything failed. *)
+let exec_text session text =
+  let n = String.length text in
+  (* resume after the next ';' at or beyond [off] *)
+  let resume_point off =
+    match String.index_from_opt text (min off (n - 1)) ';' with
+    | Some i -> Some (i + 1)
+    | None | (exception Invalid_argument _) -> None
+  in
+  let rec from_offset start ok =
+    if start >= n || String.trim (String.sub text start (n - start)) = "" then
+      ok
+    else
+      match Sqlsyn.Parser.script_start (String.sub text start (n - start)) with
+      | cursor -> statements cursor start ok
+      | exception Sqlsyn.Lexer.Lex_error (m, p) ->
+          syntax_error "lexical error" m (start + p)
+  and statements cursor base ok =
+    match Sqlsyn.Parser.script_next cursor with
+    | None -> ok
+    | Some stmt -> statements cursor base (exec_one session stmt && ok)
+    | exception Sqlsyn.Parser.Parse_error (m, p) ->
+        syntax_error "parse error" m (base + p)
+    | exception Sqlsyn.Lexer.Lex_error (m, p) ->
+        syntax_error "lexical error" m (base + p)
+  and syntax_error label m off =
+    Printf.printf "%s at %s: %s\n" label (pos_context text off) m;
+    match resume_point off with
+    | Some next -> from_offset next false
+    | None -> false
+  in
+  from_offset 0 true
 
 let print_stats session =
   print_endline (Plancache.Stats.to_string (Mvstore.Session.stats session))
 
+let print_health session =
+  print_endline (Mvstore.Session.health session)
+
 let repl session =
   print_endline
     "astql — type SQL statements ending with ';'  (\\q to quit, \\stats for \
-     planner counters)";
+     planner counters, \\health for fault-isolation counters)";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "astql> " else "   ...> ");
@@ -65,6 +120,10 @@ let repl session =
         if trimmed = "\\q" || trimmed = "quit" then ()
         else if trimmed = "\\stats" then begin
           print_stats session;
+          loop ()
+        end
+        else if trimmed = "\\health" then begin
+          print_health session;
           loop ()
         end
         else begin
@@ -80,24 +139,69 @@ let repl session =
   in
   loop ()
 
-let make_session ~rewrite ~demo ~scale =
+let make_session ~rewrite ~verify ~demo ~scale =
   if demo then begin
     let params = Workload.Star_schema.scaled scale in
     let tables = Workload.Star_schema.generate params in
     let session =
-      Mvstore.Session.of_tables ~rewrite (Workload.Star_schema.catalog ()) tables
+      Mvstore.Session.of_tables ~rewrite ~verify
+        (Workload.Star_schema.catalog ()) tables
     in
     Printf.printf "loaded star schema (%d transactions)\n"
       (Data.Relation.cardinality (List.assoc "Trans" tables));
     session
   end
-  else Mvstore.Session.create ~rewrite ()
+  else Mvstore.Session.create ~rewrite ~verify ()
 
 open Cmdliner
 
 let rewrite_flag =
   let doc = "Disable transparent summary-table rewriting." in
   Arg.(value & flag & info [ "no-rewrite" ] ~doc)
+
+let verify_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "off" -> Ok Mvstore.Session.Off
+    | "always" -> Ok Mvstore.Session.Always
+    | s when String.length s > 7 && String.sub s 0 7 = "sample:" -> (
+        match float_of_string_opt (String.sub s 7 (String.length s - 7)) with
+        | Some p when p > 0. && p <= 1. -> Ok (Mvstore.Session.Sampled p)
+        | _ -> Error (`Msg "expected sample:P with 0 < P <= 1"))
+    | _ -> Error (`Msg "expected off, always, or sample:P")
+  in
+  let print fmt = function
+    | Mvstore.Session.Off -> Format.pp_print_string fmt "off"
+    | Mvstore.Session.Always -> Format.pp_print_string fmt "always"
+    | Mvstore.Session.Sampled p -> Format.fprintf fmt "sample:%g" p
+  in
+  Arg.conv (parse, print)
+
+let verify_arg =
+  let doc =
+    "Runtime result verification of rewritten queries: $(b,off), \
+     $(b,always), or $(b,sample:P) (verify a deterministic fraction P of \
+     rewritten queries). On mismatch the summary table is quarantined and \
+     the base plan's answer is served."
+  in
+  Arg.(value & opt verify_conv Mvstore.Session.Off & info [ "verify" ] ~doc)
+
+let fault_arg =
+  let doc =
+    "Arm deterministic fault-injection points (testing): comma-separated \
+     $(i,point)[:$(i,N)] where point is navigate, match, compensate, \
+     translate or corrupt — the Nth hit of that point fails (default 1)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let arm_faults = function
+  | None -> ()
+  | Some spec -> (
+      match Guard.Fault.arm_spec spec with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "bad --fault spec: %s\n" m;
+          Stdlib.exit 2)
 
 let scale_arg =
   let doc = "Demo data scale factor." in
@@ -110,10 +214,20 @@ let stats_flag =
   let doc = "Print rewrite-planner counters (cache hits/misses, filtered candidates) after execution." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let health_flag =
+  let doc =
+    "Print fault-isolation counters (fallbacks, quarantines, verification \
+     mismatches) after execution."
+  in
+  Arg.(value & flag & info [ "health" ] ~doc)
+
 let run_cmd =
   let doc = "Execute SQL script files." in
-  let run no_rewrite stats files =
-    let session = make_session ~rewrite:(not no_rewrite) ~demo:false ~scale:1 in
+  let run no_rewrite verify fault stats health files =
+    arm_faults fault;
+    let session =
+      make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1
+    in
     let ok =
       List.fold_left
         (fun ok f ->
@@ -122,22 +236,31 @@ let run_cmd =
         true files
     in
     if stats then print_stats session;
+    if health then print_health session;
     if not ok then Stdlib.exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ rewrite_flag $ stats_flag $ files_arg)
+    Term.(
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ stats_flag
+      $ health_flag $ files_arg)
 
 let repl_cmd =
   let doc = "Interactive shell over an empty database." in
-  let run no_rewrite = repl (make_session ~rewrite:(not no_rewrite) ~demo:false ~scale:1) in
-  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ rewrite_flag)
+  let run no_rewrite verify fault =
+    arm_faults fault;
+    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1)
+  in
+  Cmd.v (Cmd.info "repl" ~doc)
+    Term.(const run $ rewrite_flag $ verify_arg $ fault_arg)
 
 let demo_cmd =
   let doc = "Interactive shell preloaded with the paper's star schema." in
-  let run no_rewrite scale =
-    repl (make_session ~rewrite:(not no_rewrite) ~demo:true ~scale)
+  let run no_rewrite verify fault scale =
+    arm_faults fault;
+    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:true ~scale)
   in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ rewrite_flag $ scale_arg)
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(const run $ rewrite_flag $ verify_arg $ fault_arg $ scale_arg)
 
 let advise_cmd =
   let doc =

@@ -18,6 +18,7 @@ let covers_outputs g e_id (res : Mtypes.result) =
   List.for_all (fun c -> List.mem c produced) wanted
 
 let find_matches ?trace cat ~query ~ast =
+  Guard.Fault.hit Guard.Fault.Navigate;
   let ctx = Mctx.create ?trace cat ~query ~ast in
   let r_root = Qgm.Graph.root ast in
   let boxes = Qgm.Graph.reachable query (Qgm.Graph.root query) in

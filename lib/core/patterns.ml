@@ -176,6 +176,7 @@ let reset_match_count () = calls := 0
 
 let rec match_boxes (ctx : Mctx.t) e_id r_id =
   incr calls;
+  Guard.Fault.hit Guard.Fault.Match;
   match Hashtbl.find_opt ctx.Mctx.memo (e_id, r_id) with
   | Some res -> res
   | None ->

@@ -117,6 +117,7 @@ let build_group g ~below ~below_cols ~grouping ~(aggs : (string * E.agg * M.cref
   (g, body)
 
 let apply ~query ~target ~result ~mv_table ~mv_cols =
+  Guard.Fault.hit Guard.Fault.Compensate;
   let g, mv_box =
     G.add_box query (B.Base { bt_table = mv_table; bt_cols = mv_cols })
   in
@@ -167,30 +168,51 @@ let apply ~query ~target ~result ~mv_table ~mv_cols =
 (* ------------------------------------------------------------------ *)
 
 
-let rewrite_candidates cat g mvs =
+(* With [on_error], a failure while judging one summary table (navigator,
+   match function, compensation construction, translation — anything up to
+   and including building the candidate graph) is reported and that summary
+   table contributes no candidates, instead of the exception voiding the
+   whole planning; the remaining summary tables are still tried. Without
+   it, exceptions propagate (the historical behaviour, kept for direct
+   callers and tests). *)
+let guarded on_error mv_name fallback f =
+  match on_error with
+  | None -> f ()
+  | Some h -> (
+      match f () with
+      | v -> v
+      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+      | exception e ->
+          h mv_name e;
+          fallback)
+
+let rewrite_candidates ?on_error cat g mvs =
   List.concat_map
     (fun mv ->
-      let sites = Navigator.find_matches cat ~query:g ~ast:mv.mv_graph in
-      List.map
-        (fun { Navigator.site_box; site_result } ->
-          let mv_cols =
-            B.output_cols (G.box mv.mv_graph (G.root mv.mv_graph))
-          in
-          let g' =
-            apply ~query:g ~target:site_box ~result:site_result
-              ~mv_table:mv.mv_name ~mv_cols
-          in
-          ( g',
-            {
-              used_mv = mv.mv_name;
-              target = site_box;
-              exact =
-                (match site_result with M.Exact _ -> true | M.Comp _ -> false);
-            } ))
-        sites)
+      guarded on_error mv.mv_name [] (fun () ->
+          let sites = Navigator.find_matches cat ~query:g ~ast:mv.mv_graph in
+          List.map
+            (fun { Navigator.site_box; site_result } ->
+              let mv_cols =
+                B.output_cols (G.box mv.mv_graph (G.root mv.mv_graph))
+              in
+              let g' =
+                apply ~query:g ~target:site_box ~result:site_result
+                  ~mv_table:mv.mv_name ~mv_cols
+              in
+              ( g',
+                {
+                  used_mv = mv.mv_name;
+                  target = site_box;
+                  exact =
+                    (match site_result with
+                    | M.Exact _ -> true
+                    | M.Comp _ -> false);
+                } ))
+            sites))
     mvs
 
-let best ~cat g mvs =
+let best ~cat ?on_error g mvs =
   (* Iterative multi-AST routing (section 7): keep applying the cheapest
      strictly-improving rewrite. The same AST may serve several query
      blocks (e.g. two FROM subqueries); termination is guaranteed because
@@ -198,13 +220,14 @@ let best ~cat g mvs =
   let rec loop g steps fuel =
     if fuel = 0 then Some (g, List.rev steps)
     else
-      let candidates = rewrite_candidates cat g mvs in
+      let candidates = rewrite_candidates ?on_error cat g mvs in
       let current = Cost.graph_cost cat g in
       let better =
         List.filter_map
           (fun (g', step) ->
-            let c = Cost.graph_cost cat g' in
-            if c < current then Some (c, g', step) else None)
+            guarded on_error step.used_mv None (fun () ->
+                let c = Cost.graph_cost cat g' in
+                if c < current then Some (c, g', step) else None))
           candidates
       in
       match List.sort (fun (a, _, _) (b, _, _) -> compare a b) better with

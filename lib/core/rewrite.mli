@@ -34,6 +34,17 @@ val apply :
     the lowest {!Cost.graph_cost} while it strictly improves on the current
     graph (the iterative multi-AST process of section 7; the same AST may
     answer several query blocks). Returns the rewritten graph and the
-    applied steps; [None] when no AST matches or no rewrite is cheaper. *)
+    applied steps; [None] when no AST matches or no rewrite is cheaper.
+
+    With [on_error], any exception raised while judging one summary table
+    (navigation, matching, compensation construction, translation, costing
+    its candidates) is passed to [on_error mv_name exn] and that summary
+    table simply contributes no candidates — the others are still tried
+    and no exception escapes (except [Out_of_memory]/[Sys.Break]).
+    Without it, exceptions propagate unchanged. *)
 val best :
-  cat:Catalog.t -> Qgm.Graph.t -> mv list -> (Qgm.Graph.t * step list) option
+  cat:Catalog.t ->
+  ?on_error:(string -> exn -> unit) ->
+  Qgm.Graph.t ->
+  mv list ->
+  (Qgm.Graph.t * step list) option

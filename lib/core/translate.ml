@@ -5,6 +5,7 @@ module M = Mtypes
 let norm = String.lowercase_ascii
 
 let through_comp levels e =
+  Guard.Fault.hit Guard.Fault.Translate;
   (* Walk from the top level down, substituting Below references with the
      level's defining expression; Rejoin references pass through. *)
   let subst_level level e =

@@ -8,7 +8,11 @@ exception Eval_error of string
 
 (** [eval lookup e] evaluates [e], resolving each column reference with
     [lookup]. Built-in scalar functions: [year], [month], [day], [float], [abs],
-    [mod], [length], [upper], [lower], [coalesce]. *)
+    [mod], [length], [upper], [lower], [coalesce].
+
+    Integer division/modulo by zero raises the raw [Division_by_zero];
+    statement-level callers ({!Mvstore.Session}) convert it into a session
+    error with statement context rather than letting it crash the caller. *)
 val eval : ('c -> Data.Value.t) -> 'c Qgm.Expr.t -> Data.Value.t
 
 (** [is_satisfied lookup p] — SQL predicate test: true only when [p]

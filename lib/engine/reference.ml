@@ -4,17 +4,23 @@ module E = Qgm.Expr
 module B = Qgm.Box
 module G = Qgm.Graph
 
+exception Reference_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Reference_error s)) fmt
+
 (* An environment binds quantifier ids to (column names, row). *)
 type env = (int * (string array * V.t array)) list
 
 let lookup (env : env) { B.quant; col } =
   match List.assoc_opt quant env with
-  | None -> failwith "Reference: unbound quantifier"
+  | None -> err "unbound quantifier %d (column %s)" quant col
   | Some (cols, row) -> (
-      let col = String.lowercase_ascii col in
+      let lcol = String.lowercase_ascii col in
       let rec go i =
-        if i >= Array.length cols then failwith "Reference: unknown column"
-        else if String.lowercase_ascii cols.(i) = col then row.(i)
+        if i >= Array.length cols then
+          err "unknown column %s of quantifier %d (has: %s)" col quant
+            (String.concat ", " (Array.to_list cols))
+        else if String.lowercase_ascii cols.(i) = lcol then row.(i)
         else go (i + 1)
       in
       go 0)
@@ -45,7 +51,9 @@ and eval_select db g (sel : B.select_body) : R.t =
           match R.rows rel with
           | [] -> Array.make (Array.length cols) V.Null
           | [ r ] -> r
-          | _ -> failwith "Reference: scalar subquery returned several rows"
+          | rows ->
+              err "scalar subquery (quantifier %d, box %d) returned %d rows"
+                q.B.q_id q.B.q_box (List.length rows)
         in
         (q.B.q_id, cols, [ row ])
   in

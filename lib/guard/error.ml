@@ -1,0 +1,69 @@
+(* Typed taxonomy for failures contained by the rewrite-pipeline sandbox.
+
+   The stage says where in the planning/execution path the exception was
+   caught (overridden by the injection point for injected faults, which
+   know exactly where they struck); the kind preserves what the exception
+   was, so EXPLAIN and \health output stays diagnosable without ever
+   letting the raw exception escape to the user. *)
+
+type stage =
+  | Navigate
+  | Match
+  | Compensate
+  | Translate
+  | Plan
+  | Execute
+  | Verify
+
+type kind =
+  | Injected                 (* Fault.Injected: deterministic test fault *)
+  | Assertion                (* Assert_failure *)
+  | Invalid of string        (* Invalid_argument *)
+  | Div_zero                 (* Division_by_zero (e.g. constant folding) *)
+  | Failed of string         (* Failure / failwith *)
+  | Unexpected of string     (* anything else, via Printexc *)
+
+type t = { err_stage : stage; err_kind : kind; err_mv : string option }
+
+let stage_name = function
+  | Navigate -> "navigate"
+  | Match -> "match"
+  | Compensate -> "compensate"
+  | Translate -> "translate"
+  | Plan -> "plan"
+  | Execute -> "execute"
+  | Verify -> "verify"
+
+let stage_of_point = function
+  | Fault.Navigate -> Navigate
+  | Fault.Match -> Match
+  | Fault.Compensate -> Compensate
+  | Fault.Translate -> Translate
+  | Fault.Corrupt -> Verify
+
+let kind_name = function
+  | Injected -> "injected fault"
+  | Assertion -> "assertion failure"
+  | Invalid m -> Printf.sprintf "invalid argument (%s)" m
+  | Div_zero -> "division by zero"
+  | Failed m -> Printf.sprintf "failure (%s)" m
+  | Unexpected m -> Printf.sprintf "unexpected exception (%s)" m
+
+let classify ~stage ?mv exn =
+  let stage, kind =
+    match exn with
+    | Fault.Injected p -> (stage_of_point p, Injected)
+    | Assert_failure _ -> (stage, Assertion)
+    | Invalid_argument m -> (stage, Invalid m)
+    | Division_by_zero -> (stage, Div_zero)
+    | Failure m -> (stage, Failed m)
+    | e -> (stage, Unexpected (Printexc.to_string e))
+  in
+  { err_stage = stage; err_kind = kind; err_mv = mv }
+
+let to_string e =
+  Printf.sprintf "%s error%s: %s" (stage_name e.err_stage)
+    (match e.err_mv with None -> "" | Some mv -> " on " ^ mv)
+    (kind_name e.err_kind)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,107 @@
+(* Deterministic fault injection for the rewrite pipeline.
+
+   Each injection point carries a one-shot countdown: [arm p ~after:n] makes
+   the [n]th subsequent hit of [p] fire (raise {!Injected}, or — for
+   [Corrupt], which is consumed with {!fire} rather than {!hit} — return
+   true), after which the point disarms itself. Tests use this to prove the
+   fallback/quarantine/verification invariants instead of hoping for them:
+   the pipeline code calls [hit] unconditionally, so an armed fault strikes
+   at an exact, reproducible call count. Disarmed hits cost one array read. *)
+
+type point = Navigate | Match | Compensate | Translate | Corrupt
+
+exception Injected of point
+
+let point_name = function
+  | Navigate -> "navigate"
+  | Match -> "match"
+  | Compensate -> "compensate"
+  | Translate -> "translate"
+  | Corrupt -> "corrupt"
+
+let all_points = [ Navigate; Match; Compensate; Translate; Corrupt ]
+
+let idx = function
+  | Navigate -> 0
+  | Match -> 1
+  | Compensate -> 2
+  | Translate -> 3
+  | Corrupt -> 4
+
+(* remaining hits before the point fires; None = disarmed *)
+let countdown : int option array = Array.make 5 None
+
+let arm p ~after =
+  if after <= 0 then invalid_arg "Fault.arm: after must be positive";
+  countdown.(idx p) <- Some after
+
+let disarm p = countdown.(idx p) <- None
+let disarm_all () = Array.fill countdown 0 (Array.length countdown) None
+let armed p = countdown.(idx p) <> None
+
+let fire p =
+  match countdown.(idx p) with
+  | None -> false
+  | Some 1 ->
+      countdown.(idx p) <- None;
+      true
+  | Some n ->
+      countdown.(idx p) <- Some (n - 1);
+      false
+
+let hit p = if fire p then raise (Injected p)
+
+(* ---------------- spec strings ---------------- *)
+
+let point_of_name s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun p -> point_name p = s) all_points
+
+let arm_spec spec =
+  let arm_one item =
+    let item = String.trim item in
+    if item = "" then Ok ()
+    else
+      let name, after =
+        match String.index_opt item ':' with
+        | None -> (item, Some 1)
+        | Some i ->
+            ( String.sub item 0 i,
+              int_of_string_opt
+                (String.trim
+                   (String.sub item (i + 1) (String.length item - i - 1))) )
+      in
+      match (point_of_name name, after) with
+      | None, _ ->
+          Error
+            (Printf.sprintf
+               "unknown injection point %S (expected one of: %s)" name
+               (String.concat ", " (List.map point_name all_points)))
+      | Some _, None ->
+          Error (Printf.sprintf "bad count in %S (expected point:N, N >= 1)" item)
+      | Some _, Some n when n <= 0 ->
+          Error (Printf.sprintf "bad count in %S (expected point:N, N >= 1)" item)
+      | Some p, Some n ->
+          arm p ~after:n;
+          Ok ()
+  in
+  List.fold_left
+    (fun acc item -> match acc with Error _ -> acc | Ok () -> arm_one item)
+    (Ok ())
+    (String.split_on_char ',' spec)
+
+let seed_of_env () =
+  Option.bind (Sys.getenv_opt "ASTQL_FAULT_SEED") int_of_string_opt
+
+(* ---------------- result corruption ---------------- *)
+
+(* A minimal, always-detectable perturbation: simulates a compensation that
+   derives an aggregate column incorrectly. *)
+let corrupt_value (v : Data.Value.t) : Data.Value.t =
+  match v with
+  | Data.Value.Int n -> Data.Value.Int (n + 1)
+  | Data.Value.Float x -> Data.Value.Float (x +. 1.0)
+  | Data.Value.Str s -> Data.Value.Str (s ^ "!")
+  | Data.Value.Bool b -> Data.Value.Bool (not b)
+  | Data.Value.Date d -> Data.Value.Date (d + 1)
+  | Data.Value.Null -> Data.Value.Int 0

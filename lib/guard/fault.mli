@@ -1,0 +1,49 @@
+(** Deterministic, seed-free fault injection for the rewrite pipeline.
+
+    The pipeline calls {!hit} at fixed places (navigator entry, each
+    match-function invocation, compensation construction, expression
+    translation); tests {!arm} a point so that its [N]th subsequent hit
+    raises {!Injected} — once — proving that the fallback, quarantine and
+    verification invariants hold under failure at an exact, reproducible
+    position. [Corrupt] is not raised but polled with {!fire} by the
+    session's verification path to perturb a rewritten result. Disarmed
+    hits cost one array read, so the hooks stay in production builds. *)
+
+type point =
+  | Navigate     (** {!Astmatch.Navigator.find_matches} entry *)
+  | Match        (** each {!Astmatch.Patterns.match_boxes} call *)
+  | Compensate   (** {!Astmatch.Rewrite.apply} (compensation construction) *)
+  | Translate    (** {!Astmatch.Translate.through_comp} *)
+  | Corrupt      (** result corruption under verification (via {!fire}) *)
+
+exception Injected of point
+
+val point_name : point -> string
+val all_points : point list
+
+(** [arm p ~after:n] — the [n]th subsequent hit of [p] fires, then the
+    point disarms itself (one-shot). Raises [Invalid_argument] if
+    [n <= 0]. *)
+val arm : point -> after:int -> unit
+
+val disarm : point -> unit
+val disarm_all : unit -> unit
+val armed : point -> bool
+
+(** Consume one hit; [true] exactly when the armed countdown reaches zero. *)
+val fire : point -> bool
+
+(** [fire], raising {!Injected} when it fires. *)
+val hit : point -> unit
+
+(** Parse and arm a spec like ["match:3,compensate"] (missing count = 1).
+    Point names: navigate, match, compensate, translate, corrupt. *)
+val arm_spec : string -> (unit, string) result
+
+(** [ASTQL_FAULT_SEED] from the environment, when set and numeric (used by
+    the randomized fault-injection tests and the CI matrix job). *)
+val seed_of_env : unit -> int option
+
+(** A minimal always-detectable perturbation of one value (simulates a
+    compensation deriving an aggregate column incorrectly). *)
+val corrupt_value : Data.Value.t -> Data.Value.t

@@ -1,0 +1,73 @@
+(* Known-bad (query-fingerprint x summary-table) pairs.
+
+   Keyed like the plan cache's negative entries: the canonical query
+   fingerprint, stamped with the store epoch at insertion. A lookup under
+   any other epoch drops the entry — REFRESH/define/drop/DML all bump the
+   epoch, and any of them can fix the condition that made the candidate
+   fail, so quarantine never outlives the store state it was observed
+   under. Bounded by LRU eviction (same policy as Plancache.Cache). *)
+
+type entry = {
+  q_epoch : int;
+  mutable q_mvs : string list;  (* case-preserved summary-table names *)
+  mutable q_last : int;
+}
+
+type t = {
+  cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then
+    invalid_arg "Quarantine.create: capacity must be positive";
+  { cap = capacity; tbl = Hashtbl.create (min capacity 64); tick = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.q_mvs) t.tbl 0
+
+let clear t = Hashtbl.reset t.tbl
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.q_last -> acc
+        | _ -> Some (k, e.q_last))
+      t.tbl None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let add t ~epoch ~fp ~mv =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl fp with
+  | Some e when e.q_epoch = epoch ->
+      e.q_last <- t.tick;
+      if List.mem mv e.q_mvs then false
+      else begin
+        e.q_mvs <- mv :: e.q_mvs;
+        true
+      end
+  | stale ->
+      if stale = None && Hashtbl.length t.tbl >= t.cap then evict_lru t;
+      Hashtbl.replace t.tbl fp
+        { q_epoch = epoch; q_mvs = [ mv ]; q_last = t.tick };
+      true
+
+let blocked t ~epoch ~fp =
+  match Hashtbl.find_opt t.tbl fp with
+  | None -> []
+  | Some e when e.q_epoch <> epoch ->
+      (* the store moved on; the failure observation is void *)
+      Hashtbl.remove t.tbl fp;
+      []
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.q_last <- t.tick;
+      e.q_mvs
+
+let is_blocked t ~epoch ~fp ~mv = List.mem mv (blocked t ~epoch ~fp)

@@ -1,0 +1,35 @@
+(** Known-bad (query-fingerprint x summary-table) pairs.
+
+    When a summary table's candidacy for a query failed (rewrite exception)
+    or mis-verified (runtime result mismatch), the pair is quarantined:
+    repeat plannings of the same query skip that candidate while still
+    trying the others. Entries are stamped with the store epoch at
+    insertion and expire the moment the epoch moves (REFRESH, define/drop,
+    DML, DDL — any of which can fix the underlying condition), and the
+    table is bounded by LRU eviction, so quarantine can suppress at most a
+    bounded amount of rewriting and never outlives the store state the
+    failure was observed under. *)
+
+type t
+
+(** [create ?capacity ()] — [capacity] bounds the number of quarantined
+    fingerprints (default 256). *)
+val create : ?capacity:int -> unit -> t
+
+(** [add t ~epoch ~fp ~mv] quarantines [mv] for the query fingerprinted
+    [fp]. Returns [true] when the pair was not already present. *)
+val add : t -> epoch:int -> fp:string -> mv:string -> bool
+
+(** Summary tables quarantined for this query under this epoch (stale
+    entries are dropped on lookup). *)
+val blocked : t -> epoch:int -> fp:string -> string list
+
+val is_blocked : t -> epoch:int -> fp:string -> mv:string -> bool
+
+(** Quarantined fingerprints currently held. *)
+val length : t -> int
+
+(** Quarantined (fingerprint x summary-table) pairs currently held. *)
+val entries : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,11 @@
+(* The containment boundary: run a pipeline fragment, converting any
+   exception — including Assert_failure, Invalid_argument, Stack_overflow
+   and injected faults — into a classified Error.t the caller can count,
+   quarantine on, and fall back from. Only genuinely asynchronous /
+   unrecoverable conditions pass through. *)
+
+let protect ~stage ?mv f =
+  match f () with
+  | v -> Ok v
+  | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+  | exception e -> Error (Error.classify ~stage ?mv e)

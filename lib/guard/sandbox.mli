@@ -1,0 +1,9 @@
+(** The containment boundary around the rewrite pipeline.
+
+    [protect ~stage f] runs [f ()] and converts {e any} exception —
+    [Assert_failure], [Invalid_argument], [Division_by_zero],
+    [Stack_overflow], injected faults — into a classified {!Error.t}.
+    Only [Out_of_memory] and [Sys.Break] re-raise: those are asynchronous
+    conditions no fallback can answer. *)
+val protect :
+  stage:Error.stage -> ?mv:string -> (unit -> 'a) -> ('a, Error.t) result

@@ -7,37 +7,69 @@ exception Session_error of string
 let err fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
 let norm = String.lowercase_ascii
 
+type verify = Off | Sampled of float | Always
+
 type t = {
   mutable sdb : Engine.Db.t;
   mutable sstore : Store.t;
   mutable srewrite : bool;
+  mutable sverify : verify;
+  mutable sverify_acc : float;  (* deterministic sampling accumulator *)
+  sverify_oracle : bool;
   splanner : Plancache.Planner.t;
 }
 
 type outcome = Msg of string | Table of R.t | Plan of string
 
-let create ?(rewrite = true) ?plan_capacity () =
+let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
+    ?(verify_oracle = false) () =
   {
     sdb = Engine.Db.create Catalog.empty;
     sstore = Store.empty;
     srewrite = rewrite;
+    sverify = verify;
+    sverify_acc = 0.;
+    sverify_oracle = verify_oracle;
     splanner = Plancache.Planner.create ?capacity:plan_capacity ();
   }
 
-let of_tables ?(rewrite = true) ?plan_capacity cat tables =
+let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
+    ?(verify_oracle = false) cat tables =
   {
     sdb = Engine.Db.of_tables cat tables;
     sstore = Store.empty;
     srewrite = rewrite;
+    sverify = verify;
+    sverify_acc = 0.;
+    sverify_oracle = verify_oracle;
     splanner = Plancache.Planner.create ?capacity:plan_capacity ();
   }
 
 let set_rewrite t b = t.srewrite <- b
+
+let set_verify t v =
+  t.sverify <- v;
+  t.sverify_acc <- 0.
+
 let db t = t.sdb
 let store t = t.sstore
 let planner t = t.splanner
 let stats t = Plancache.Stats.copy (Plancache.Planner.stats t.splanner)
 let touch_store t = t.sstore <- Store.touch t.sstore
+
+let health t =
+  let st = Plancache.Planner.stats t.splanner in
+  Printf.sprintf
+    "fallbacks:        %d\n\
+     rewrite errors:   %d\n\
+     quarantined:      %d pair(s) added, %d held now\n\
+     quarantine skips: %d\n\
+     verification:     %d run(s), %d mismatch(es)"
+    st.Plancache.Stats.fallbacks st.Plancache.Stats.rw_errors
+    st.Plancache.Stats.quarantined
+    (Plancache.Planner.quarantine_length t.splanner)
+    st.Plancache.Stats.quarantine_skips st.Plancache.Stats.verify_runs
+    st.Plancache.Stats.verify_mismatches
 
 (* ---------------- DDL ---------------- *)
 
@@ -242,12 +274,105 @@ let plan_query t g =
   Plancache.Planner.plan t.splanner ~cat:(Engine.Db.catalog t.sdb)
     ~epoch:(Store.epoch t.sstore) ~mvs:(Store.rewritable t.sstore) g
 
+(* Deterministic sampling: verify whenever the accumulated rate crosses an
+   integer boundary, so [Sampled 0.25] verifies exactly every 4th rewritten
+   query — reproducible, no RNG state. *)
+let should_verify t =
+  match t.sverify with
+  | Off -> false
+  | Always -> true
+  | Sampled p ->
+      let p = Float.min 1.0 (Float.max 0.0 p) in
+      t.sverify_acc <- t.sverify_acc +. p;
+      if t.sverify_acc >= 1.0 then begin
+        t.sverify_acc <- t.sverify_acc -. 1.0;
+        true
+      end
+      else false
+
+(* Fault.Corrupt support: perturb one value of the first row (simulates a
+   compensation that derives an aggregate column incorrectly). *)
+let corrupt_relation rel =
+  let first = ref true in
+  R.map_rows
+    (fun row ->
+      if !first && Array.length row > 0 then begin
+        first := false;
+        let row = Array.copy row in
+        let j = Array.length row - 1 in
+        row.(j) <- Guard.Fault.corrupt_value row.(j);
+        row
+      end
+      else row)
+    rel
+
+(* The fallback contract: whatever happens inside the rewrite pipeline —
+   planning already degrades inside Planner.plan; here a rewritten plan
+   that fails to execute, or whose result fails verification, quarantines
+   the summary tables it used and the base plan's answer is served. The
+   only exceptions that can escape are the ones the base plan itself
+   raises, exactly as a rewrite:false session would. *)
+let run_query_unrewritten t g = (Engine.Exec.run t.sdb g, [])
+
+let run_query_routed t g =
+  let r = plan_query t g in
+  match r.Plancache.Planner.pr_steps with
+  | [] -> run_query_unrewritten t g
+  | steps -> (
+      let st = Plancache.Planner.stats t.splanner in
+      let quarantine_used () =
+        Plancache.Planner.quarantine t.splanner
+          ~epoch:(Store.epoch t.sstore) ~fp:r.pr_fingerprint
+          (List.map (fun (s : Astmatch.Rewrite.step) -> s.used_mv) steps)
+      in
+      match
+        Guard.Sandbox.protect ~stage:Guard.Error.Execute (fun () ->
+            Engine.Exec.run t.sdb r.pr_graph)
+      with
+      | Error e ->
+          Printf.eprintf "astrw guard: %s; serving the base plan\n%!"
+            (Guard.Error.to_string e);
+          st.Plancache.Stats.rw_errors <- st.Plancache.Stats.rw_errors + 1;
+          st.Plancache.Stats.fallbacks <- st.Plancache.Stats.fallbacks + 1;
+          quarantine_used ();
+          run_query_unrewritten t g
+      | Ok rel ->
+          let rel =
+            if Guard.Fault.fire Guard.Fault.Corrupt then corrupt_relation rel
+            else rel
+          in
+          if not (should_verify t) then (rel, steps)
+          else begin
+            st.Plancache.Stats.verify_runs <-
+              st.Plancache.Stats.verify_runs + 1;
+            let reference =
+              if t.sverify_oracle then Engine.Reference.run t.sdb g
+              else Engine.Exec.run t.sdb g
+            in
+            if R.bag_equal_approx rel reference then (rel, steps)
+            else begin
+              Printf.eprintf
+                "astrw guard: verification mismatch (rewrite via %s); \
+                 quarantined, serving the base plan\n\
+                 %!"
+                (String.concat ", "
+                   (List.map
+                      (fun (s : Astmatch.Rewrite.step) -> s.used_mv)
+                      steps));
+              st.Plancache.Stats.verify_mismatches <-
+                st.Plancache.Stats.verify_mismatches + 1;
+              st.Plancache.Stats.fallbacks <-
+                st.Plancache.Stats.fallbacks + 1;
+              quarantine_used ();
+              (reference, [])
+            end
+          end)
+
 let run_query t q =
-  let g = build_query t q in
-  if not t.srewrite then (Engine.Exec.run t.sdb g, [])
-  else
-    let r = plan_query t g in
-    (Engine.Exec.run t.sdb r.Plancache.Planner.pr_graph, r.pr_steps)
+  try
+    let g = build_query t q in
+    if not t.srewrite then run_query_unrewritten t g else run_query_routed t g
+  with Division_by_zero -> err "division by zero in SELECT"
 
 let explain t q =
   let g = build_query t q in
@@ -260,6 +385,11 @@ let explain t q =
   addf "cache: %s\n" (if r.Plancache.Planner.pr_hit then "hit" else "miss");
   addf "candidates: %d attempted, %d filtered (of %d fresh)\n" r.pr_attempted
     r.pr_filtered (List.length fresh);
+  if r.pr_quarantined > 0 then
+    addf "quarantine: %d candidate(s) held\n" r.pr_quarantined;
+  List.iter
+    (fun e -> addf "guard: contained %s\n" (Guard.Error.to_string e))
+    r.pr_errors;
   (match r.pr_steps with
   | [] ->
       addf "no beneficial summary-table rewrite found\n";
@@ -311,7 +441,20 @@ let explain t q =
 
 (* ---------------- statements ---------------- *)
 
-let exec_stmt t stmt =
+let stmt_label = function
+  | A.Create_table _ -> "CREATE TABLE"
+  | A.Insert _ -> "INSERT"
+  | A.Delete _ -> "DELETE"
+  | A.Copy_from _ -> "COPY FROM"
+  | A.Copy_to _ -> "COPY TO"
+  | A.Create_summary _ -> "CREATE SUMMARY TABLE"
+  | A.Drop_summary _ -> "DROP SUMMARY TABLE"
+  | A.Refresh_summary _ -> "REFRESH SUMMARY TABLE"
+  | A.Select _ -> "SELECT"
+  | A.Explain_rewrite _ -> "EXPLAIN REWRITE"
+  | A.Explain_plan _ -> "EXPLAIN"
+
+let exec_stmt_dispatch t stmt =
   match stmt with
   | A.Create_table { ct_name; ct_cols; ct_constraints } ->
       do_create_table t ct_name ct_cols ct_constraints
@@ -362,6 +505,13 @@ let exec_stmt t stmt =
         else (plan_query t g).Plancache.Planner.pr_graph
       in
       Plan (Astmatch.Cost.explain cat g)
+
+(* Division_by_zero is a raw OCaml exception wherever the engine evaluates
+   expressions (constant folding, INSERT values, predicates, outputs);
+   surface it as a proper session error with statement context. *)
+let exec_stmt t stmt =
+  try exec_stmt_dispatch t stmt
+  with Division_by_zero -> err "division by zero in %s" (stmt_label stmt)
 
 let exec_sql t sql =
   (* statement-at-a-time: statements before a syntax error have executed

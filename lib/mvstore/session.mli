@@ -11,20 +11,40 @@ type outcome =
 
 exception Session_error of string
 
+(** Runtime result verification of rewritten queries. [Sampled p] verifies
+    a deterministic [p] fraction of rewritten queries (accumulator-based,
+    no RNG: [Sampled 0.25] verifies exactly every 4th). A verified query
+    executes the base plan too and bag-compares; on mismatch the summary
+    tables used are quarantined and the base answer is served — graceful
+    degradation, never a wrong result. *)
+type verify = Off | Sampled of float | Always
+
 (** [create ()] starts with an empty catalog. [?rewrite] (default true)
     controls transparent AST routing for SELECTs; [?plan_capacity] bounds
-    the LRU plan cache (default 256 entries). *)
-val create : ?rewrite:bool -> ?plan_capacity:int -> unit -> t
+    the LRU plan cache (default 256 entries); [?verify] (default [Off])
+    enables runtime result verification; [?verify_oracle] (default false)
+    checks against the naive {!Engine.Reference} evaluator instead of the
+    optimized executor (slow — differential tests only). *)
+val create :
+  ?rewrite:bool ->
+  ?plan_capacity:int ->
+  ?verify:verify ->
+  ?verify_oracle:bool ->
+  unit ->
+  t
 
 (** Start from an existing catalog and table contents. *)
 val of_tables :
   ?rewrite:bool ->
   ?plan_capacity:int ->
+  ?verify:verify ->
+  ?verify_oracle:bool ->
   Catalog.t ->
   (string * Data.Relation.t) list ->
   t
 
 val set_rewrite : t -> bool -> unit
+val set_verify : t -> verify -> unit
 val db : t -> Engine.Db.t
 val store : t -> Store.t
 
@@ -32,8 +52,14 @@ val store : t -> Store.t
 val planner : t -> Plancache.Planner.t
 
 (** Snapshot of the planning counters: cache hits/misses, invalidations,
-    evictions, candidates attempted vs. filtered. *)
+    evictions, candidates attempted vs. filtered, contained rewrite errors,
+    fallbacks, quarantine activity, verification runs/mismatches. *)
 val stats : t -> Plancache.Stats.t
+
+(** Human-readable fault-isolation report: fallbacks, contained rewrite
+    errors, quarantine adds/holdings/skips, verification runs and
+    mismatches (the astql [\health] command). *)
+val health : t -> string
 
 (** Execute one statement. Raises {!Session_error} (with parse/semantic
     context) on bad input. *)
@@ -43,7 +69,10 @@ val exec_stmt : t -> Sqlsyn.Ast.stmt -> outcome
 val exec_sql : t -> string -> outcome list
 
 (** Run a query, returning the result plus the rewrite steps applied (empty
-    when the original plan ran). *)
+    when the original plan ran — including when a contained rewrite failure
+    or verification mismatch fell back to it). Never raises because of the
+    rewrite pipeline: the only exceptions are those the base plan itself
+    produces, exactly as a [~rewrite:false] session would. *)
 val run_query :
   t -> Sqlsyn.Ast.query -> Data.Relation.t * Astmatch.Rewrite.step list
 

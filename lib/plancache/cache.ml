@@ -13,6 +13,7 @@ let create ~capacity =
 let capacity t = t.cap
 let length t = Hashtbl.length t.tbl
 let clear t = Hashtbl.reset t.tbl
+let remove t key = Hashtbl.remove t.tbl key
 
 type 'a lookup = Hit of 'a | Stale | Absent
 

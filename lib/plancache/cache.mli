@@ -14,6 +14,10 @@ val capacity : 'a t -> int
 val length : 'a t -> int
 val clear : 'a t -> unit
 
+(** Drop one entry (no-op when absent). Used when a cached decision is
+    discredited after the fact — e.g. its plan mis-verified at runtime. *)
+val remove : 'a t -> string -> unit
+
 type 'a lookup =
   | Hit of 'a
   | Stale  (** present but from an older epoch; the entry was dropped *)

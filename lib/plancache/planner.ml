@@ -2,11 +2,17 @@ type decision =
   | No_rewrite
   | Rewrite of Qgm.Graph.t * Astmatch.Rewrite.step list
 
-type entry = { en_decision : decision; en_attempted : int; en_filtered : int }
+type entry = {
+  en_decision : decision;
+  en_attempted : int;
+  en_filtered : int;
+  en_quarantined : int;
+}
 
 type t = {
   p_cache : entry Cache.t;
   p_stats : Stats.t;
+  p_quarantine : Guard.Quarantine.t;
   mutable p_index : Candidates.t;
   mutable p_index_epoch : int;
 }
@@ -18,18 +24,31 @@ type report = {
   pr_fingerprint : string;
   pr_attempted : int;
   pr_filtered : int;
+  pr_quarantined : int;
+  pr_errors : Guard.Error.t list;
 }
 
-let create ?(capacity = 256) () =
+let create ?(capacity = 256) ?quarantine_capacity () =
   {
     p_cache = Cache.create ~capacity;
     p_stats = Stats.create ();
+    p_quarantine = Guard.Quarantine.create ?capacity:quarantine_capacity ();
     p_index = Candidates.build [];
     p_index_epoch = min_int;
   }
 
 let stats t = t.p_stats
 let cache_length t = Cache.length t.p_cache
+let quarantine_length t = Guard.Quarantine.entries t.p_quarantine
+
+let quarantine t ~epoch ~fp mvs =
+  List.iter
+    (fun mv ->
+      if Guard.Quarantine.add t.p_quarantine ~epoch ~fp ~mv then
+        t.p_stats.Stats.quarantined <- t.p_stats.Stats.quarantined + 1)
+    mvs;
+  (* the cached decision (if any) embeds the now-discredited candidate *)
+  Cache.remove t.p_cache fp
 
 let index t ~epoch mvs =
   if t.p_index_epoch <> epoch then begin
@@ -40,7 +59,7 @@ let index t ~epoch mvs =
 
 let classify t ~cat ~epoch ~mvs g = Candidates.eligible (index t ~epoch mvs) cat g
 
-let report_of g fp ~hit (e : entry) =
+let report_of g fp ~hit ~errors (e : entry) =
   let graph, steps =
     match e.en_decision with
     | No_rewrite -> (g, [])
@@ -53,33 +72,83 @@ let report_of g fp ~hit (e : entry) =
     pr_fingerprint = fp;
     pr_attempted = e.en_attempted;
     pr_filtered = e.en_filtered;
+    pr_quarantined = e.en_quarantined;
+    pr_errors = errors;
   }
 
-let plan t ~cat ~epoch ~mvs g =
+let plan_raw t ~cat ~epoch ~mvs g =
   let st = t.p_stats in
   let fp = Qgm.Fingerprint.of_graph g in
   match Cache.find t.p_cache ~epoch fp with
   | Cache.Hit e ->
       st.Stats.hits <- st.Stats.hits + 1;
-      report_of g fp ~hit:true e
+      report_of g fp ~hit:true ~errors:[] e
   | (Cache.Stale | Cache.Absent) as l ->
       if l = Cache.Stale then st.Stats.invalidated <- st.Stats.invalidated + 1;
       st.Stats.misses <- st.Stats.misses + 1;
       let kept, skipped = classify t ~cat ~epoch ~mvs g in
+      let held_names = Guard.Quarantine.blocked t.p_quarantine ~epoch ~fp in
+      let kept, held =
+        List.partition
+          (fun (mv : Astmatch.Rewrite.mv) ->
+            not (List.mem mv.mv_name held_names))
+          kept
+      in
+      st.Stats.quarantine_skips <-
+        st.Stats.quarantine_skips + List.length held;
       st.Stats.attempted <- st.Stats.attempted + List.length kept;
       st.Stats.filtered <- st.Stats.filtered + List.length skipped;
+      (* contained failures: the offending summary table is quarantined for
+         this fingerprint and planning continues with the others *)
+      let errors = ref [] in
+      let on_error mv_name exn =
+        let err = Guard.Error.classify ~stage:Guard.Error.Match ~mv:mv_name exn in
+        errors := err :: !errors;
+        st.Stats.rw_errors <- st.Stats.rw_errors + 1;
+        if Guard.Quarantine.add t.p_quarantine ~epoch ~fp ~mv:mv_name then
+          st.Stats.quarantined <- st.Stats.quarantined + 1
+      in
       let decision =
-        match Astmatch.Rewrite.best ~cat g kept with
+        match Astmatch.Rewrite.best ~cat ~on_error g kept with
         | None -> No_rewrite
         | Some (g', steps) -> Rewrite (g', steps)
       in
+      (* a contained failure that left the query unrewritten is a fallback
+         to the base plan; if another AST still served it, it is not *)
+      if !errors <> [] && decision = No_rewrite then
+        st.Stats.fallbacks <- st.Stats.fallbacks + 1;
       let e =
         {
           en_decision = decision;
           en_attempted = List.length kept;
           en_filtered = List.length skipped;
+          en_quarantined = List.length held;
         }
       in
       st.Stats.evicted <- st.Stats.evicted + Cache.put t.p_cache ~epoch fp e;
       st.Stats.inserted <- st.Stats.inserted + 1;
-      report_of g fp ~hit:false e
+      report_of g fp ~hit:false ~errors:(List.rev !errors) e
+
+let plan t ~cat ~epoch ~mvs g =
+  (* the outer sandbox: even a failure outside any one candidate
+     (fingerprinting, the candidate index, base-graph costing, the cache
+     itself) degrades to the unrewritten plan, never to an exception *)
+  match
+    Guard.Sandbox.protect ~stage:Guard.Error.Plan (fun () ->
+        plan_raw t ~cat ~epoch ~mvs g)
+  with
+  | Ok r -> r
+  | Error err ->
+      let st = t.p_stats in
+      st.Stats.rw_errors <- st.Stats.rw_errors + 1;
+      st.Stats.fallbacks <- st.Stats.fallbacks + 1;
+      {
+        pr_graph = g;
+        pr_steps = [];
+        pr_hit = false;
+        pr_fingerprint = "";
+        pr_attempted = 0;
+        pr_filtered = 0;
+        pr_quarantined = 0;
+        pr_errors = [ err ];
+      }

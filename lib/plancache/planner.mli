@@ -1,12 +1,18 @@
 (** The rewrite-planning entry point: candidate filtering + memoized
-    routing decisions.
+    routing decisions + fault isolation.
 
     [plan] fingerprints the query ({!Qgm.Fingerprint}), serves a cached
     decision when the store epoch still matches, and otherwise filters the
-    summary tables through the candidate index ({!Candidates}) before
-    handing only the plausible ones to {!Astmatch.Rewrite.best}. Negative
-    decisions ("no beneficial rewrite") are cached too, so a hot query
-    that cannot be rewritten stops paying for matching as well. *)
+    summary tables through the candidate index ({!Candidates}) and the
+    quarantine ({!Guard.Quarantine}) before handing only the plausible ones
+    to {!Astmatch.Rewrite.best}. Negative decisions ("no beneficial
+    rewrite") are cached too, so a hot query that cannot be rewritten stops
+    paying for matching as well.
+
+    Planning never raises: any exception inside the rewrite pipeline is
+    contained ({!Guard.Sandbox}), classified, counted, quarantines the
+    offending (fingerprint x summary-table) pair, and at worst degrades the
+    report to the unrewritten input graph. *)
 
 type t
 
@@ -18,21 +24,26 @@ type report = {
   pr_graph : Qgm.Graph.t;  (** graph to execute (the input when unrewritten) *)
   pr_steps : Astmatch.Rewrite.step list;
   pr_hit : bool;           (** served from the plan cache *)
-  pr_fingerprint : string;
+  pr_fingerprint : string; (** [""] only when planning itself fell over *)
   pr_attempted : int;      (** candidates that reached the matcher *)
   pr_filtered : int;       (** candidates skipped by the index *)
+  pr_quarantined : int;    (** candidates skipped by the quarantine *)
+  pr_errors : Guard.Error.t list;
+      (** failures contained during {e this} planning ([] on a hit) *)
 }
-(** On a cache hit, [pr_attempted]/[pr_filtered] report the counts from
-    the planning that produced the entry (nothing was attempted now). *)
+(** On a cache hit, [pr_attempted]/[pr_filtered]/[pr_quarantined] report
+    the counts from the planning that produced the entry (nothing was
+    attempted now). *)
 
-(** [create ?capacity ()] — [capacity] bounds the LRU plan cache
-    (default 256). *)
-val create : ?capacity:int -> unit -> t
+(** [create ?capacity ?quarantine_capacity ()] — [capacity] bounds the LRU
+    plan cache (default 256); [quarantine_capacity] bounds the quarantine
+    (default 256 fingerprints). *)
+val create : ?capacity:int -> ?quarantine_capacity:int -> unit -> t
 
 (** [plan t ~cat ~epoch ~mvs g] routes [g] through the fresh summary
     tables [mvs]. [epoch] must change whenever [mvs], their contents, the
     catalog, or base-table data change (see {!Cache}); the candidate index
-    is rebuilt lazily per epoch. *)
+    is rebuilt lazily per epoch. Never raises (see above). *)
 val plan :
   t ->
   cat:Catalog.t ->
@@ -51,9 +62,18 @@ val classify :
   Qgm.Graph.t ->
   Astmatch.Rewrite.mv list * Astmatch.Rewrite.mv list
 
+(** [quarantine t ~epoch ~fp mvs] quarantines each summary table in [mvs]
+    for the query fingerprinted [fp] (used by the session when a rewritten
+    plan failed at execution or mis-verified), counts the newly added pairs
+    in the stats, and drops the now-discredited cache entry for [fp]. *)
+val quarantine : t -> epoch:int -> fp:string -> string list -> unit
+
 (** Live counters (mutated by subsequent planning; {!Stats.copy} to
     snapshot). *)
 val stats : t -> Stats.t
 
 (** Entries currently cached. *)
 val cache_length : t -> int
+
+(** Quarantined (fingerprint x summary-table) pairs currently held. *)
+val quarantine_length : t -> int

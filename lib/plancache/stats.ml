@@ -6,6 +6,12 @@ type t = {
   mutable inserted : int;
   mutable attempted : int;
   mutable filtered : int;
+  mutable rw_errors : int;
+  mutable fallbacks : int;
+  mutable quarantined : int;
+  mutable quarantine_skips : int;
+  mutable verify_runs : int;
+  mutable verify_mismatches : int;
 }
 
 let create () =
@@ -17,6 +23,12 @@ let create () =
     inserted = 0;
     attempted = 0;
     filtered = 0;
+    rw_errors = 0;
+    fallbacks = 0;
+    quarantined = 0;
+    quarantine_skips = 0;
+    verify_runs = 0;
+    verify_mismatches = 0;
   }
 
 let reset t =
@@ -26,14 +38,25 @@ let reset t =
   t.evicted <- 0;
   t.inserted <- 0;
   t.attempted <- 0;
-  t.filtered <- 0
+  t.filtered <- 0;
+  t.rw_errors <- 0;
+  t.fallbacks <- 0;
+  t.quarantined <- 0;
+  t.quarantine_skips <- 0;
+  t.verify_runs <- 0;
+  t.verify_mismatches <- 0
 
 let copy t = { t with hits = t.hits }
 
 let pp fmt t =
   Format.fprintf fmt
     "plan cache: %d hit(s), %d miss(es), %d invalidated, %d evicted@\n\
-     candidates: %d attempted, %d filtered"
-    t.hits t.misses t.invalidated t.evicted t.attempted t.filtered
+     candidates: %d attempted, %d filtered@\n\
+     guard: %d rewrite error(s), %d fallback(s), %d quarantined, %d \
+     quarantine skip(s)@\n\
+     verify: %d run(s), %d mismatch(es)"
+    t.hits t.misses t.invalidated t.evicted t.attempted t.filtered t.rw_errors
+    t.fallbacks t.quarantined t.quarantine_skips t.verify_runs
+    t.verify_mismatches
 
 let to_string t = Format.asprintf "%a" pp t

@@ -6,7 +6,17 @@
     dropped because the store epoch moved; [evicted] counts LRU evictions;
     [attempted]/[filtered] count summary-table candidates that respectively
     reached the match function or were rejected by the candidate index
-    before any matching ran. *)
+    before any matching ran.
+
+    The guard counters: [rw_errors] counts exceptions contained inside the
+    rewrite pipeline (each attributed to one summary-table candidate);
+    [fallbacks] counts queries that were answered by the base plan because
+    of a contained failure (planning, execution of the rewritten plan, or a
+    verification mismatch); [quarantined] counts
+    (query-fingerprint x summary-table) pairs newly quarantined;
+    [quarantine_skips] counts candidates skipped on later plannings because
+    they were quarantined. [verify_runs]/[verify_mismatches] count runtime
+    result verifications and the mismatches they caught. *)
 
 type t = {
   mutable hits : int;
@@ -16,6 +26,12 @@ type t = {
   mutable inserted : int;
   mutable attempted : int;
   mutable filtered : int;
+  mutable rw_errors : int;
+  mutable fallbacks : int;
+  mutable quarantined : int;
+  mutable quarantine_skips : int;
+  mutable verify_runs : int;
+  mutable verify_mismatches : int;
 }
 
 val create : unit -> t

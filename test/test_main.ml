@@ -30,4 +30,5 @@ let () =
       ("union", Test_union.suite);
       ("fingerprint", Test_fingerprint.suite);
       ("plancache", Test_plancache.suite);
+      ("guard", Test_guard.suite);
     ]
