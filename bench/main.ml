@@ -17,6 +17,14 @@ let scale =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
   | None -> 1
 
+(* ASTRW_SMOKE=1: CI gate. Skips the slow sections (multi-scale PERF1,
+   bechamel) but runs every figure verification, and exits non-zero when
+   any expected rewrite is missing or any result comparison fails. *)
+let smoke =
+  match Sys.getenv_opt "ASTRW_SMOKE" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
 let build cat sql = Qgm.Builder.build cat (Sqlsyn.Parser.parse_query sql)
 
 type prepared = {
@@ -81,67 +89,10 @@ let time_once f =
   (Unix.gettimeofday () -. t0) *. 1000.
 
 (* ---------------- machine-readable results ---------------- *)
-(* Hand-rolled JSON: flat scalars, escaped strings, no dependencies. *)
+(* JSON rendering is shared with the metrics exporter (Obs.Json), so
+   BENCH_results.json and a live \metrics dump follow one schema. *)
 
-module Json = struct
-  type t =
-    | Str of string
-    | Num of float
-    | Int of int
-    | Bool of bool
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-
-  let rec render buf = function
-    | Str s ->
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape s);
-        Buffer.add_char buf '"'
-    | Num x ->
-        Buffer.add_string buf
-          (if Float.is_finite x then Printf.sprintf "%.4f" x else "null")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Bool b -> Buffer.add_string buf (string_of_bool b)
-    | List xs ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_string buf ", ";
-            render buf x)
-          xs;
-        Buffer.add_char buf ']'
-    | Obj kvs ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_string buf ", ";
-            render buf (Str k);
-            Buffer.add_string buf ": ";
-            render buf v)
-          kvs;
-        Buffer.add_char buf '}'
-
-  let to_file path t =
-    let buf = Buffer.create 4096 in
-    render buf t;
-    Buffer.add_char buf '\n';
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (Buffer.contents buf))
-end
+module Json = Obs.Json
 
 let figure_rows : Json.t list ref = ref []
 let workload_rows : Json.t list ref = ref []
@@ -229,7 +180,7 @@ let () =
       let na = R.cardinality mv in
       Printf.printf "%-6d %12d %12d %7.1fx\n" s nt na
         (float_of_int nt /. float_of_int na))
-    [ 1; 2; 4 ];
+    (if smoke then [ 1 ] else [ 1; 2; 4 ]);
   print_newline ();
 
   (* ---------------- PERF3: workload-level speedup (section 8) -------- *)
@@ -244,28 +195,39 @@ let () =
         (Mvstore.Session.exec_sql sn
            (Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" name sql)))
     Workload.Decision_support.summary_tables;
-  Printf.printf "%-24s %10s %10s %9s  %s\n" "query" "base(ms)" "mv(ms)"
-    "speedup" "routed via";
-  let tot_base = ref 0. and tot_mv = ref 0. in
+  Printf.printf "%-24s %10s %10s %10s %9s  %s\n" "query" "base(ms)" "plan(ms)"
+    "exec(ms)" "speedup" "routed via";
+  let tot_base = ref 0. and tot_plan = ref 0. and tot_exec = ref 0. in
+  let ws_db = Mvstore.Session.db sn in
+  let ws_cat = Engine.Db.catalog ws_db in
+  let ws_store = Mvstore.Session.store sn in
+  let ws_planner = Mvstore.Session.planner sn in
   List.iter
     (fun (q : Workload.Decision_support.query) ->
-      let parsed = Sqlsyn.Parser.parse_query q.dq_sql in
-      Mvstore.Session.set_rewrite sn false;
-      let t_base =
-        time_ms (fun () -> fst (Mvstore.Session.run_query sn parsed))
+      let g = build ws_cat q.dq_sql in
+      let t_base = time_ms (fun () -> Engine.Exec.run ws_db g) in
+      (* planning and execution measured separately: plan_ms is the live
+         (warm-cache) routing cost, exec_ms the rewritten plan alone *)
+      let plan () =
+        Plancache.Planner.plan ws_planner ~cat:ws_cat
+          ~epoch:(Mvstore.Store.epoch ws_store)
+          ~mvs:(Mvstore.Store.rewritable ws_store)
+          g
       in
-      Mvstore.Session.set_rewrite sn true;
-      let routed = ref "(base tables)" in
-      let t_mv =
+      let report = plan () in
+      let t_plan = time_ms (fun () -> plan ()) in
+      let t_exec =
         time_ms (fun () ->
-            let _, steps = Mvstore.Session.run_query sn parsed in
-            (match steps with
-            | s :: _ -> routed := s.Astmatch.Rewrite.used_mv
-            | [] -> ());
-            ())
+            Engine.Exec.run ws_db report.Plancache.Planner.pr_graph)
+      in
+      let routed =
+        match report.Plancache.Planner.pr_steps with
+        | s :: _ -> s.Astmatch.Rewrite.used_mv
+        | [] -> "(base tables)"
       in
       tot_base := !tot_base +. t_base;
-      tot_mv := !tot_mv +. t_mv;
+      tot_plan := !tot_plan +. t_plan;
+      tot_exec := !tot_exec +. t_exec;
       workload_rows :=
         !workload_rows
         @ [
@@ -273,15 +235,20 @@ let () =
               [
                 ("query", Json.Str q.dq_name);
                 ("base_ms", Json.Num t_base);
-                ("rewritten_ms", Json.Num t_mv);
-                ("routed_via", Json.Str !routed);
+                ("plan_ms", Json.Num t_plan);
+                ("exec_ms", Json.Num t_exec);
+                ("rewritten_ms", Json.Num (t_plan +. t_exec));
+                ("routed_via", Json.Str routed);
               ];
           ];
-      Printf.printf "%-24s %10.1f %10.1f %8.1fx  %s\n" q.dq_name t_base t_mv
-        (t_base /. t_mv) !routed)
+      Printf.printf "%-24s %10.1f %10.3f %10.1f %8.1fx  %s\n" q.dq_name t_base
+        t_plan t_exec
+        (t_base /. (t_plan +. t_exec))
+        routed)
     Workload.Decision_support.queries;
-  Printf.printf "%-24s %10.1f %10.1f %8.1fx\n" "TOTAL" !tot_base !tot_mv
-    (!tot_base /. !tot_mv);
+  Printf.printf "%-24s %10.1f %10.3f %10.1f %8.1fx\n" "TOTAL" !tot_base
+    !tot_plan !tot_exec
+    (!tot_base /. (!tot_plan +. !tot_exec));
   print_newline ();
 
   (* ---------------- ablations (DESIGN.md section 5) ------------------ *)
@@ -517,16 +484,37 @@ let () =
     (Json.Obj
        [
          ("scale", Json.Int scale);
+         ("smoke", Json.Bool smoke);
          ("verification_failures", Json.Int !fails);
          ("figures", Json.List !figure_rows);
          ("workload", Json.List !workload_rows);
          ( "workload_total",
            Json.Obj
-             [ ("base_ms", Json.Num !tot_base); ("rewritten_ms", Json.Num !tot_mv) ] );
+             [
+               ("base_ms", Json.Num !tot_base);
+               ("plan_ms", Json.Num !tot_plan);
+               ("exec_ms", Json.Num !tot_exec);
+               ("rewritten_ms", Json.Num (!tot_plan +. !tot_exec));
+             ] );
          ("planning", !planning_obj);
          ("verification", Json.Obj verify_rows);
+         (* the live registry, same schema as \metrics json / --metrics-out *)
+         ("metrics", Obs.Metrics.to_json ());
        ]);
-  Printf.printf "wrote %s\n\n%!" results_path;
+  Printf.printf "wrote %s\n%!" results_path;
+  let metrics_path = "BENCH_metrics.json" in
+  Obs.Metrics.dump metrics_path;
+  Printf.printf "wrote %s\n\n%!" metrics_path;
+
+  if smoke then begin
+    Printf.printf "smoke mode: skipping bechamel timings\n";
+    if !fails > 0 then begin
+      Printf.printf "SMOKE FAILURE: %d verification failure(s)\n%!" !fails;
+      exit 1
+    end;
+    Printf.printf "smoke OK\n%!";
+    exit 0
+  end;
 
   (* ---------------- bechamel: one Test.make per figure --------------- *)
   Printf.printf "=== bechamel timings (monotonic clock, ns/run) ===\n%!";

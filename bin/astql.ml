@@ -105,10 +105,26 @@ let print_stats session =
 let print_health session =
   print_endline (Mvstore.Session.health session)
 
+let print_metrics () = print_string (Obs.Metrics.to_text ())
+
+let print_traces session =
+  match Mvstore.Session.traces session with
+  | [] ->
+      print_endline
+        "no traces recorded (\\trace on, then run a SELECT or EXPLAIN)"
+  | traces ->
+      List.iter
+        (fun (label, tr) ->
+          Printf.printf "-- %s\n" label;
+          print_string (Obs.Trace.render tr))
+        traces
+
 let repl session =
   print_endline
     "astql — type SQL statements ending with ';'  (\\q to quit, \\stats for \
-     planner counters, \\health for fault-isolation counters)";
+     planner counters, \\health for fault-isolation counters, \\trace \
+     on|off|show for planning traces, \\metrics [json] for the metrics \
+     registry)";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "astql> " else "   ...> ");
@@ -124,6 +140,29 @@ let repl session =
         end
         else if trimmed = "\\health" then begin
           print_health session;
+          loop ()
+        end
+        else if trimmed = "\\trace on" then begin
+          Mvstore.Session.set_trace session true;
+          print_endline "planning traces on";
+          loop ()
+        end
+        else if trimmed = "\\trace off" then begin
+          Mvstore.Session.set_trace session false;
+          Mvstore.Session.clear_traces session;
+          print_endline "planning traces off";
+          loop ()
+        end
+        else if trimmed = "\\trace show" || trimmed = "\\trace" then begin
+          print_traces session;
+          loop ()
+        end
+        else if trimmed = "\\metrics json" then begin
+          print_endline (Obs.Json.to_string (Obs.Metrics.to_json ()));
+          loop ()
+        end
+        else if trimmed = "\\metrics" then begin
+          print_metrics ();
           loop ()
         end
         else begin
@@ -221,9 +260,23 @@ let health_flag =
   in
   Arg.(value & flag & info [ "health" ] ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write the metrics registry (planner, matcher, executor counters and \
+     latency histograms) to $(docv) as JSON on exit. The schema is the one \
+     embedded in the bench harness's BENCH_results.json."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let dump_metrics = function
+  | None -> ()
+  | Some path ->
+      (try Obs.Metrics.dump path
+       with Sys_error m -> Printf.eprintf "cannot write metrics: %s\n" m)
+
 let run_cmd =
   let doc = "Execute SQL script files." in
-  let run no_rewrite verify fault stats health files =
+  let run no_rewrite verify fault stats health metrics_out files =
     arm_faults fault;
     let session =
       make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1
@@ -237,30 +290,35 @@ let run_cmd =
     in
     if stats then print_stats session;
     if health then print_health session;
+    dump_metrics metrics_out;
     if not ok then Stdlib.exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ rewrite_flag $ verify_arg $ fault_arg $ stats_flag
-      $ health_flag $ files_arg)
+      $ health_flag $ metrics_out_arg $ files_arg)
 
 let repl_cmd =
   let doc = "Interactive shell over an empty database." in
-  let run no_rewrite verify fault =
+  let run no_rewrite verify fault metrics_out =
     arm_faults fault;
-    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1)
+    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1);
+    dump_metrics metrics_out
   in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const run $ rewrite_flag $ verify_arg $ fault_arg)
+    Term.(const run $ rewrite_flag $ verify_arg $ fault_arg $ metrics_out_arg)
 
 let demo_cmd =
   let doc = "Interactive shell preloaded with the paper's star schema." in
-  let run no_rewrite verify fault scale =
+  let run no_rewrite verify fault scale metrics_out =
     arm_faults fault;
-    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:true ~scale)
+    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:true ~scale);
+    dump_metrics metrics_out
   in
   Cmd.v (Cmd.info "demo" ~doc)
-    Term.(const run $ rewrite_flag $ verify_arg $ fault_arg $ scale_arg)
+    Term.(
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ scale_arg
+      $ metrics_out_arg)
 
 let advise_cmd =
   let doc =

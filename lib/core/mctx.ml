@@ -7,26 +7,15 @@ type t = {
   qg : Qgm.Graph.t;  (* query graph: subsumees *)
   ag : Qgm.Graph.t;  (* AST graph: subsumers *)
   memo : (int * int, Mtypes.result option) Hashtbl.t;
-  trace : Buffer.t option;  (* when set, rejection reasons are recorded *)
+  trace : Obs.Trace.t option;  (* when set, spans and rejections recorded *)
 }
 
 let create ?trace cat ~query ~ast =
   { cat; qg = query; ag = ast; memo = Hashtbl.create 64; trace }
 
-(* Record a human-readable reason why a candidate pair was rejected.
+(* Record the typed reason why the current candidate pair was rejected.
    Diagnostics only — never consulted by the algorithm. *)
-let note ctx fmt =
-  match ctx.trace with
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-  | Some buf ->
-      Format.kasprintf
-        (fun s ->
-          (* dedup consecutive identical notes *)
-          let s = s ^ "\n" in
-          let n = Buffer.length buf and ls = String.length s in
-          if n < ls || Buffer.sub buf (n - ls) ls <> s then
-            Buffer.add_string buf s)
-        fmt
+let reject ctx reason = Obs.Trace.reject ctx.trace ~kind:"check" ~label:"" reason
 
 (* A pairing of subsumee children with subsumer children (section 4's
    terminology): matched pairs, rejoin children (subsumee-only), and extra

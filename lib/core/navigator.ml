@@ -1,5 +1,9 @@
 type site = { site_box : Qgm.Box.box_id; site_result : Mtypes.result }
 
+let nav_runs = Obs.Metrics.counter "navigator.runs"
+let nav_sites = Obs.Metrics.counter "navigator.sites"
+let nav_ms = Obs.Metrics.histogram "navigator.ms"
+
 (* Since derivation of output columns is lazy (section 6), an interior
    match may legitimately cover only part of a box's outputs — but a match
    that is to REPLACE a box must reproduce every output column. *)
@@ -19,15 +23,34 @@ let covers_outputs g e_id (res : Mtypes.result) =
 
 let find_matches ?trace cat ~query ~ast =
   Guard.Fault.hit Guard.Fault.Navigate;
-  let ctx = Mctx.create ?trace cat ~query ~ast in
-  let r_root = Qgm.Graph.root ast in
-  let boxes = Qgm.Graph.reachable query (Qgm.Graph.root query) in
-  List.filter_map
-    (fun e_id ->
-      match Patterns.match_boxes ctx e_id r_root with
-      | Some res when covers_outputs query e_id res ->
-          Some { site_box = e_id; site_result = res }
-      | Some _ | None -> None)
-    boxes
+  Obs.Metrics.incr nav_runs;
+  Obs.Metrics.time nav_ms (fun () ->
+      Obs.Trace.with_span trace ~kind:"navigate" ~label:"bottom-up over query boxes"
+        (fun () ->
+          let ctx = Mctx.create ?trace cat ~query ~ast in
+          let r_root = Qgm.Graph.root ast in
+          let boxes = Qgm.Graph.reachable query (Qgm.Graph.root query) in
+          let sites =
+            List.filter_map
+              (fun e_id ->
+                match Patterns.match_boxes ctx e_id r_root with
+                | Some res when covers_outputs query e_id res ->
+                    Obs.Trace.accept trace ~kind:"site"
+                      ~label:(Printf.sprintf "query box %d" e_id)
+                      (match res with
+                      | Mtypes.Exact _ -> "exact"
+                      | Mtypes.Comp _ -> "compensated");
+                    Some { site_box = e_id; site_result = res }
+                | Some _ ->
+                    (* an interior match exists but can't replace the box *)
+                    Obs.Trace.reject trace ~kind:"site"
+                      ~label:(Printf.sprintf "query box %d" e_id)
+                      Obs.Trace.Outputs_not_covered;
+                    None
+                | None -> None)
+              boxes
+          in
+          Obs.Metrics.add nav_sites (List.length sites);
+          sites))
 
 let matches cat ~query ~ast = find_matches cat ~query ~ast <> []

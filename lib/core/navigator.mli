@@ -13,10 +13,11 @@ type site = {
 }
 
 (** All query boxes that match the AST's root box. When [trace] is given,
-    human-readable rejection reasons are appended to it (diagnostics for
-    EXPLAIN REWRITE). *)
+    a [navigate] span with per-pair match spans and typed rejection reasons
+    is recorded in it (diagnostics for EXPLAIN REWRITE and [\trace]). *)
 val find_matches :
-  ?trace:Buffer.t -> Catalog.t -> query:Qgm.Graph.t -> ast:Qgm.Graph.t -> site list
+  ?trace:Obs.Trace.t -> Catalog.t -> query:Qgm.Graph.t -> ast:Qgm.Graph.t ->
+  site list
 
 (** Convenience: does any query box match the AST root? *)
 val matches : Catalog.t -> query:Qgm.Graph.t -> ast:Qgm.Graph.t -> bool

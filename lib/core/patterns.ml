@@ -32,6 +32,9 @@ let canon_tx equiv e = E.normalize (Equiv.canon equiv e)
 
 let show_tx e = E.to_string (Format.asprintf "%a" M.pp_txref) e
 
+let show_q e =
+  E.to_string (fun { B.quant; col } -> Printf.sprintf "q%d.%s" quant col) e
+
 (* ------------------------------------------------------------------ *)
 (* Pure helpers (no recursion into match_boxes)                        *)
 (* ------------------------------------------------------------------ *)
@@ -174,11 +177,35 @@ let calls = ref 0
 let match_count () = !calls
 let reset_match_count () = calls := 0
 
+let m_calls = Obs.Metrics.counter "match.calls"
+let m_memo_hits = Obs.Metrics.counter "match.memo_hits"
+let m_accepts = Obs.Metrics.counter "match.accepts"
+
+let res_outcome = function
+  | Some (M.Exact _) -> Obs.Trace.Accepted "exact"
+  | Some (M.Comp _) -> Obs.Trace.Accepted "compensated"
+  | None -> Obs.Trace.Step
+
+(* Span around one box-pair judgment; a rejection leaf inside names the
+   violated condition, this span names the pair and its shapes. *)
+let pair_span ctx e_id r_id shapes f =
+  Obs.Trace.with_span ctx.Mctx.trace ~kind:"match"
+    ~label:(Printf.sprintf "query box %d vs summary box %d (%s)" e_id r_id shapes)
+    ~result:res_outcome f
+
+(* Leaf marker naming the paper pattern about to be attempted, so the trace
+   reads "which pattern, then why it failed". *)
+let pattern ctx label =
+  Obs.Trace.event ctx.Mctx.trace ~kind:"pattern" ~label
+
 let rec match_boxes (ctx : Mctx.t) e_id r_id =
   incr calls;
+  Obs.Metrics.incr m_calls;
   Guard.Fault.hit Guard.Fault.Match;
   match Hashtbl.find_opt ctx.Mctx.memo (e_id, r_id) with
-  | Some res -> res
+  | Some res ->
+      Obs.Metrics.incr m_memo_hits;
+      res
   | None ->
       Hashtbl.replace ctx.Mctx.memo (e_id, r_id) None;
       let e_box = G.box ctx.Mctx.qg e_id in
@@ -190,14 +217,20 @@ let rec match_boxes (ctx : Mctx.t) e_id r_id =
               Some (M.Exact (List.map (fun c -> (c, c)) bt_cols))
             else None
         | B.Select e_sel, B.Select r_sel ->
-            match_select_select ctx e_sel r_sel
-        | B.Group e_grp, B.Group r_grp -> match_group_group ctx e_grp r_grp
+            pair_span ctx e_id r_id "SELECT/SELECT" (fun () ->
+                match_select_select ctx e_sel r_sel)
+        | B.Group e_grp, B.Group r_grp ->
+            pair_span ctx e_id r_id "GROUP-BY/GROUP-BY" (fun () ->
+                match_group_group ctx e_grp r_grp)
         | B.Select e_sel, B.Group r_grp when e_sel.B.sel_distinct ->
-            match_distinct_vs_group ctx e_sel r_grp
+            pair_span ctx e_id r_id "DISTINCT/GROUP-BY" (fun () ->
+                match_distinct_vs_group ctx e_sel r_grp)
         | B.Group e_grp, B.Select r_sel when r_sel.B.sel_distinct ->
-            match_group_vs_distinct ctx e_grp r_sel
+            pair_span ctx e_id r_id "GROUP-BY/DISTINCT" (fun () ->
+                match_group_vs_distinct ctx e_grp r_sel)
         | _ -> None
       in
+      if res <> None then Obs.Metrics.incr m_accepts;
       Hashtbl.replace ctx.Mctx.memo (e_id, r_id) res;
       res
 
@@ -269,25 +302,35 @@ and match_select_select ctx (e_sel : B.select_body) (r_sel : B.select_body) =
       match match_distinct_vs_group_through ctx e_sel r_sel with
       | Some r -> Some r
       | None ->
-          Mctx.note ctx
-            "DISTINCT subsumee does not project the subsumer's grouping set";
+          Mctx.reject ctx
+            (Obs.Trace.Distinct_incompatible
+               "the DISTINCT subsumee does not project the subsumer's \
+                grouping set");
           None
     else begin
-      Mctx.note ctx "subsumer is DISTINCT but subsumee is not";
+      Mctx.reject ctx
+        (Obs.Trace.Distinct_incompatible
+           "the subsumer is DISTINCT but the subsumee is not");
       None
     end
   else
     match pair_children ctx e_sel.B.sel_quants r_sel.B.sel_quants with
-    | None -> None
+    | None ->
+        Mctx.reject ctx Obs.Trace.Child_mismatch;
+        None
     | Some asg ->
         if
           e_sel.B.sel_distinct
           && (asg.Mctx.rejoins <> [] || asg.Mctx.extras <> [])
-        then None
+        then begin
+          Mctx.reject ctx
+            (Obs.Trace.Duplicate_loss
+               "rejoined or extra children under DISTINCT would change \
+                duplicate multiplicities");
+          None
+        end
         else if not (extras_lossless ctx r_sel asg.Mctx.extras) then begin
-          Mctx.note ctx
-            "an extra summary-side join could not be proven lossless (no RI \
-             key join, or extra predicates on the extra table)";
+          Mctx.reject ctx Obs.Trace.Extra_not_lossless;
           None
         end
         else begin
@@ -303,13 +346,18 @@ and match_select_select ctx (e_sel : B.select_body) (r_sel : B.select_body) =
           | [] -> select_select_flat ctx asg e_sel r_sel
           | [ _ ] when List.length asg.Mctx.pairs = 1 ->
               select_select_grouped ctx asg e_sel r_sel
-          | _ -> None
+          | _ ->
+              Mctx.reject ctx
+                (Obs.Trace.Unsupported
+                   "more than one matched child carries a grouping \
+                    compensation");
+              None
         end
 
 (* 4.1.1 and 4.2.3: no grouping in any child compensation. *)
 and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
     =
-  ignore ctx;
+  pattern ctx "4.1.1/4.2.3 SELECT compensation over matched children";
   let equiv =
     if !Config.equivalence_classes then
       Equiv.of_preds (List.map (E.map_col (fun q -> M.Rin q)) r_sel.B.sel_preds)
@@ -325,11 +373,16 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
   in
   let r_preds_canon = List.map (canon_tx equiv) r_preds in
   let e_preds_t =
-    List.map (fun p -> Translate.to_subsumer asg p) e_sel.B.sel_preds
+    List.map (fun p -> (p, Translate.to_subsumer asg p)) e_sel.B.sel_preds
   in
-  if List.exists (fun t -> t = None) e_preds_t then None
+  if List.exists (fun (_, t) -> t = None) e_preds_t then begin
+    (match List.find_opt (fun (_, t) -> t = None) e_preds_t with
+    | Some (p, _) -> Mctx.reject ctx (Obs.Trace.Pred_not_derivable (show_q p))
+    | None -> ());
+    None
+  end
   else
-    let e_preds_t = List.map Option.get e_preds_t in
+    let e_preds_t = List.map (fun (_, t) -> Option.get t) e_preds_t in
     let cc_preds =
       List.concat_map
         (fun (rq, levels) -> lifted_comp_preds ~rq levels)
@@ -350,9 +403,7 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
         r_preds_canon
     in
     if not cond2 then begin
-      Mctx.note ctx
-        "a summary predicate has no matching query predicate (the summary \
-         filtered away rows the query needs)";
+      Mctx.reject ctx Obs.Trace.Summary_pred_unmatched;
       None
     end
     else begin
@@ -366,9 +417,7 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
             match Derive.scalar ~equiv ~r_outs t with
             | Some d -> comp_preds := !comp_preds @ [ d ]
             | None ->
-                Mctx.note ctx
-                  "query predicate %s is not derivable from the summary's \
-                   outputs" (show_tx t);
+                Mctx.reject ctx (Obs.Trace.Pred_not_derivable (show_tx t));
                 ok := false)
         (e_preds_t @ cc_preds);
       if not !ok then None
@@ -387,9 +436,7 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
             e_sel.B.sel_outs
         in
         if outs = [] && e_sel.B.sel_outs <> [] then begin
-          Mctx.note ctx
-            "none of the query's output columns are derivable from the \
-             summary";
+          Mctx.reject ctx Obs.Trace.Output_not_derivable;
           None
         end
         else
@@ -436,7 +483,7 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
    subsumee's own predicates and outputs. *)
 and select_select_grouped ctx asg (e_sel : B.select_body)
     (r_sel : B.select_body) =
-  ignore ctx;
+  pattern ctx "4.2.4 SELECT over a grouping child compensation";
   match asg.Mctx.pairs with
   | [ (qe, rq, M.Comp levels) ] -> (
       let equiv =
@@ -459,7 +506,13 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
       let e_preds_t =
         List.map (fun p -> (p, Translate.to_subsumer asg p)) e_sel.B.sel_preds
       in
-      if List.exists (fun (_, t) -> t = None) e_preds_t then None
+      if List.exists (fun (_, t) -> t = None) e_preds_t then begin
+        (match List.find_opt (fun (_, t) -> t = None) e_preds_t with
+        | Some (p, _) ->
+            Mctx.reject ctx (Obs.Trace.Pred_not_derivable (show_q p))
+        | None -> ());
+        None
+      end
       else
         let e_preds_t = List.map (fun (p, t) -> (p, Option.get t)) e_preds_t in
         let cc_preds = lifted_comp_preds ~rq levels in
@@ -478,7 +531,10 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
                 strong_canon)
             r_preds_canon
         in
-        if not cond2 then None
+        if not cond2 then begin
+          Mctx.reject ctx Obs.Trace.Summary_pred_unmatched;
+          None
+        end
         else
           (* pull-up: rewire level 0 from subsumer-child outputs to subsumer
              outputs; every referenced column must be preserved (condition 5
@@ -558,7 +614,12 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
           | [] -> None
           | level0 :: rest -> (
               match rewire_level0 level0 with
-              | None -> None
+              | None ->
+                  Mctx.reject ctx
+                    (Obs.Trace.Unsupported
+                       "the grouping child compensation references a column \
+                        not preserved at the subsumer's output");
+                  None
               | Some level0' ->
                   let to_cref e =
                     E.subst_col
@@ -606,12 +667,15 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
 
 and match_group_group ctx (e_grp : B.group_body) (r_grp : B.group_body) =
   match match_boxes ctx e_grp.B.grp_quant.B.q_box r_grp.B.grp_quant.B.q_box with
-  | None -> None
+  | None ->
+      Mctx.reject ctx Obs.Trace.Child_mismatch;
+      None
   | Some child_res ->
       let levels =
         match child_res with M.Exact _ -> [] | M.Comp levels -> levels
       in
       if not (M.comp_has_group levels) then begin
+        pattern ctx "4.1.2/4.2.1 regroupable GROUP BY over matched child";
         (* 4.1.2 / 4.2.1 / 5.x: child compensation is at most a SELECT *)
         let pulled_preds =
           List.concat_map
@@ -651,15 +715,11 @@ and match_group_group ctx (e_grp : B.group_body) (r_grp : B.group_body) =
             e_grp.B.grp_aggs
         in
         if List.exists (fun (_, t) -> t = None) keys then begin
-          Mctx.note ctx
-            "a grouping column of the query cannot be translated into the \
-             summary's context";
+          Mctx.reject ctx Obs.Trace.Grouping_not_translatable;
           None
         end
         else if List.exists (fun a -> a = None) aggs then begin
-          Mctx.note ctx
-            "an aggregate argument of the query is not preserved by the \
-             summary";
+          Mctx.reject ctx Obs.Trace.Agg_not_preserved;
           None
         end
         else
@@ -680,6 +740,7 @@ and match_group_group ctx (e_grp : B.group_body) (r_grp : B.group_body) =
    transcription of the subsumee on top. *)
 and match_group_nested ctx ~levels ~(e_grp : B.group_body)
     ~(r_grp : B.group_body) =
+  pattern ctx "4.2.2 nested regroup through a grouping child compensation";
   let rec split below = function
     | [] -> None
     | M.L_group { lg_grouping; lg_aggs } :: above ->
@@ -709,10 +770,14 @@ and match_group_nested ctx ~levels ~(e_grp : B.group_body)
             | M.L_select { ls_preds; _ } -> ls_preds | M.L_group _ -> [])
           below
       in
-      if
-        List.exists (fun (_, t) -> t = None) keys
-        || List.exists (fun a -> a = None) aggs
-      then None
+      if List.exists (fun (_, t) -> t = None) keys then begin
+        Mctx.reject ctx Obs.Trace.Grouping_not_translatable;
+        None
+      end
+      else if List.exists (fun a -> a = None) aggs then begin
+        Mctx.reject ctx Obs.Trace.Agg_not_preserved;
+        None
+      end
       else
         match
           match_group_spec ctx
@@ -1015,7 +1080,7 @@ and match_group_spec ctx ~keys ~sets ~simple ~aggs ~pulled_preds ~rejoins
    regroup by the subsumee's grouping, re-derive the aggregates. *)
 and regroup_compensation ctx ~keys ~regroup_grouping ~aggs ~equiv ~r_sets
     ~r_aggs ~arg_nullable ~rejoins ~pulled_preds ~slice_conj ~restrict =
-  ignore ctx;
+  pattern ctx "5.1/5.2 regroup from a covering cuboid";
   let candidates =
     List.filter_map
       (fun cuboid ->
@@ -1058,7 +1123,13 @@ and regroup_compensation ctx ~keys ~regroup_grouping ~aggs ~equiv ~r_sets
               (fun (n, agg, arg) -> (n, Derive.agg_regroup env agg arg))
               aggs
           in
-          if List.exists (fun (_, d) -> d = None) derived then None
+          if List.exists (fun (_, d) -> d = None) derived then begin
+            (match List.find_opt (fun (_, d) -> d = None) derived with
+            | Some (n, _) ->
+                Mctx.reject ctx (Obs.Trace.Agg_rule_inapplicable n)
+            | None -> ());
+            None
+          end
           else
             Some
               ( cuboid,
@@ -1077,9 +1148,7 @@ and regroup_compensation ctx ~keys ~regroup_grouping ~aggs ~equiv ~r_sets
   in
   match smallest with
   | [] ->
-      Mctx.note ctx
-        "no summary grouping set covers the query's grouping columns, \
-         pulled-up predicates and aggregates simultaneously";
+      Mctx.reject ctx Obs.Trace.No_covering_cuboid;
       None
   | (cuboid, rkeys, preds', derived) :: _ ->
       let key_names = List.map fst rkeys in
@@ -1250,6 +1319,7 @@ and match_distinct_vs_group_through ctx (e_sel : B.select_body)
    collapsed again). *)
 and match_distinct_vs_group ctx (e_sel : B.select_body) (r_grp : B.group_body)
     =
+  pattern ctx "footnote-2 SELECT DISTINCT vs GROUP BY";
   match r_grp.B.grp_grouping with
   | B.Gsets _ -> None
   | B.Simple r_keys -> (
@@ -1297,7 +1367,13 @@ and match_distinct_vs_group ctx (e_sel : B.select_body) (r_grp : B.group_body)
                                cols;
                          };
                      ])
-              else None
+              else begin
+                Mctx.reject ctx
+                  (Obs.Trace.Distinct_incompatible
+                     "the DISTINCT projection does not cover the summary's \
+                      grouping set");
+                None
+              end
           in
           match
             match_select_select ctx
@@ -1319,6 +1395,7 @@ and match_distinct_vs_group ctx (e_sel : B.select_body) (r_grp : B.group_body)
    be discarded by the grouping anyway). *)
 and match_group_vs_distinct ctx (e_grp : B.group_body) (r_sel : B.select_body)
     =
+  pattern ctx "footnote-2 GROUP BY vs SELECT DISTINCT";
   if e_grp.B.grp_aggs <> [] then None
   else
     match e_grp.B.grp_grouping with
@@ -1351,7 +1428,14 @@ and match_group_vs_distinct ctx (e_grp : B.group_body) (r_sel : B.select_body)
                     = List.sort_uniq compare
                         (List.map (fun (n, _) -> norm n) (List.map (fun (n, e) -> (n, e)) r_sel.B.sel_outs))
                   in
-                  if not covered then None
+                  if not covered then begin
+                    Mctx.reject ctx
+                      (Obs.Trace.Duplicate_loss
+                         "the grouping keys do not cover the summary's whole \
+                          output (the projection would re-introduce \
+                          duplicates)");
+                    None
+                  end
                   else
                     Some
                       (M.Comp

@@ -186,52 +186,80 @@ let guarded on_error mv_name fallback f =
           h mv_name e;
           fallback)
 
-let rewrite_candidates ?on_error cat g mvs =
+let rw_candidates = Obs.Metrics.counter "rewrite.candidates"
+let rw_steps = Obs.Metrics.counter "rewrite.steps"
+let rw_route_ms = Obs.Metrics.histogram "rewrite.route_ms"
+
+let rewrite_candidates ?on_error ?trace cat g mvs =
   List.concat_map
     (fun mv ->
-      guarded on_error mv.mv_name [] (fun () ->
-          let sites = Navigator.find_matches cat ~query:g ~ast:mv.mv_graph in
-          List.map
-            (fun { Navigator.site_box; site_result } ->
-              let mv_cols =
-                B.output_cols (G.box mv.mv_graph (G.root mv.mv_graph))
+      Obs.Trace.with_span trace ~kind:"candidate" ~label:mv.mv_name
+        ~result:(fun cands ->
+          if cands = [] then Obs.Trace.Step
+          else
+            Obs.Trace.Accepted
+              (Printf.sprintf "%d site(s)" (List.length cands)))
+        (fun () ->
+          guarded on_error mv.mv_name [] (fun () ->
+              let sites =
+                Navigator.find_matches ?trace cat ~query:g ~ast:mv.mv_graph
               in
-              let g' =
-                apply ~query:g ~target:site_box ~result:site_result
-                  ~mv_table:mv.mv_name ~mv_cols
-              in
-              ( g',
-                {
-                  used_mv = mv.mv_name;
-                  target = site_box;
-                  exact =
-                    (match site_result with
-                    | M.Exact _ -> true
-                    | M.Comp _ -> false);
-                } ))
-            sites))
+              List.map
+                (fun { Navigator.site_box; site_result } ->
+                  let mv_cols =
+                    B.output_cols (G.box mv.mv_graph (G.root mv.mv_graph))
+                  in
+                  let g' =
+                    Obs.Trace.with_span trace ~kind:"compensate"
+                      ~label:(Printf.sprintf "query box %d" site_box)
+                      (fun () ->
+                        apply ~query:g ~target:site_box ~result:site_result
+                          ~mv_table:mv.mv_name ~mv_cols)
+                  in
+                  ( g',
+                    {
+                      used_mv = mv.mv_name;
+                      target = site_box;
+                      exact =
+                        (match site_result with
+                        | M.Exact _ -> true
+                        | M.Comp _ -> false);
+                    } ))
+                sites)))
     mvs
 
-let best ~cat ?on_error g mvs =
+let best ~cat ?on_error ?trace g mvs =
   (* Iterative multi-AST routing (section 7): keep applying the cheapest
      strictly-improving rewrite. The same AST may serve several query
      blocks (e.g. two FROM subqueries); termination is guaranteed because
      every accepted step strictly lowers the estimated cost. *)
-  let rec loop g steps fuel =
-    if fuel = 0 then Some (g, List.rev steps)
-    else
-      let candidates = rewrite_candidates ?on_error cat g mvs in
-      let current = Cost.graph_cost cat g in
-      let better =
-        List.filter_map
-          (fun (g', step) ->
-            guarded on_error step.used_mv None (fun () ->
-                let c = Cost.graph_cost cat g' in
-                if c < current then Some (c, g', step) else None))
-          candidates
+  Obs.Metrics.time rw_route_ms (fun () ->
+      let rec loop g steps fuel =
+        if fuel = 0 then Some (g, List.rev steps)
+        else
+          let candidates = rewrite_candidates ?on_error ?trace cat g mvs in
+          Obs.Metrics.add rw_candidates (List.length candidates);
+          let current = Cost.graph_cost cat g in
+          let better =
+            List.filter_map
+              (fun (g', step) ->
+                guarded on_error step.used_mv None (fun () ->
+                    let c = Cost.graph_cost cat g' in
+                    if c < current then Some (c, g', step)
+                    else begin
+                      Obs.Trace.reject trace ~kind:"cost" ~label:step.used_mv
+                        (Obs.Trace.Cost_not_better (c, current));
+                      None
+                    end))
+              candidates
+          in
+          match List.sort (fun (a, _, _) (b, _, _) -> compare a b) better with
+          | [] -> if steps = [] then None else Some (g, List.rev steps)
+          | (c, g', step) :: _ ->
+              Obs.Metrics.incr rw_steps;
+              Obs.Trace.accept trace ~kind:"route" ~label:step.used_mv
+                (Printf.sprintf "query box %d, cost %.0f -> %.0f" step.target
+                   current c);
+              loop g' (step :: steps) (fuel - 1)
       in
-      match List.sort (fun (a, _, _) (b, _, _) -> compare a b) better with
-      | [] -> if steps = [] then None else Some (g, List.rev steps)
-      | (_, g', step) :: _ -> loop g' (step :: steps) (fuel - 1)
-  in
-  loop g [] 16
+      loop g [] 16)

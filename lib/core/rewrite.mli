@@ -41,10 +41,15 @@ val apply :
     its candidates) is passed to [on_error mv_name exn] and that summary
     table simply contributes no candidates — the others are still tried
     and no exception escapes (except [Out_of_memory]/[Sys.Break]).
-    Without it, exceptions propagate unchanged. *)
+    Without it, exceptions propagate unchanged.
+
+    With [trace], the whole routing attempt is recorded as a span tree
+    (candidate -> navigate -> match -> compensation -> cost), every
+    rejection carrying a typed {!Obs.Trace.reason}. *)
 val best :
   cat:Catalog.t ->
   ?on_error:(string -> exn -> unit) ->
+  ?trace:Obs.Trace.t ->
   Qgm.Graph.t ->
   mv list ->
   (Qgm.Graph.t * step list) option

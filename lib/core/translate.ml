@@ -4,8 +4,11 @@ module M = Mtypes
 
 let norm = String.lowercase_ascii
 
+let tr_calls = Obs.Metrics.counter "translate.calls"
+
 let through_comp levels e =
   Guard.Fault.hit Guard.Fault.Translate;
+  Obs.Metrics.incr tr_calls;
   (* Walk from the top level down, substituting Below references with the
      level's defining expression; Rejoin references pass through. *)
   let subst_level level e =

@@ -98,30 +98,53 @@ let lookup_in layout tuple { B.quant; col } =
 
 let pred_quant_set p = List.sort_uniq compare (List.map (fun r -> r.B.quant) (E.cols p))
 
+(* Operator-level metrics, ticked only on the compute path (memo hits are
+   free and counted separately). Timings are wall-clock and include the
+   recursive children, so the per-operator histograms report inclusive
+   operator latency. *)
+let x_boxes = Obs.Metrics.counter "exec.boxes"
+let x_memo_hits = Obs.Metrics.counter "exec.memo_hits"
+let x_rows = Obs.Metrics.counter "exec.rows"
+let x_base_ms = Obs.Metrics.histogram "exec.base_ms"
+let x_select_ms = Obs.Metrics.histogram "exec.select_ms"
+let x_group_ms = Obs.Metrics.histogram "exec.group_ms"
+let x_union_ms = Obs.Metrics.histogram "exec.union_ms"
+let x_runs = Obs.Metrics.counter "exec.runs"
+let x_run_ms = Obs.Metrics.histogram "exec.run_ms"
+
 let rec run_box_memo db g memo id =
   match Hashtbl.find_opt memo id with
-  | Some r -> r
+  | Some r ->
+      Obs.Metrics.incr x_memo_hits;
+      r
   | None ->
+      Obs.Metrics.incr x_boxes;
       let r =
         match (G.box g id).B.body with
-        | B.Base { bt_table; bt_cols } -> R.project (Db.get_exn db bt_table) bt_cols
+        | B.Base { bt_table; bt_cols } ->
+            Obs.Metrics.time x_base_ms (fun () ->
+                R.project (Db.get_exn db bt_table) bt_cols)
         | B.Select { sel_quants = quants; sel_preds = preds; sel_outs = outs; sel_distinct = distinct } ->
-            exec_select db g memo quants preds outs distinct
+            Obs.Metrics.time x_select_ms (fun () ->
+                exec_select db g memo quants preds outs distinct)
         | B.Group { grp_quant = quant; grp_grouping = grouping; grp_aggs = aggs } ->
-            exec_group db g memo quant grouping aggs
+            Obs.Metrics.time x_group_ms (fun () ->
+                exec_group db g memo quant grouping aggs)
         | B.Union { un_quants; un_all; un_cols } ->
-            let rows =
-              List.concat_map
-                (fun q ->
-                  let rel = run_box_memo db g memo q.B.q_box in
-                  if R.arity rel <> List.length un_cols then
-                    err "UNION branch arity mismatch";
-                  R.rows rel)
-                un_quants
-            in
-            let rel = R.create un_cols rows in
-            if un_all then rel else R.distinct rel
+            Obs.Metrics.time x_union_ms (fun () ->
+                let rows =
+                  List.concat_map
+                    (fun q ->
+                      let rel = run_box_memo db g memo q.B.q_box in
+                      if R.arity rel <> List.length un_cols then
+                        err "UNION branch arity mismatch";
+                      R.rows rel)
+                    un_quants
+                in
+                let rel = R.create un_cols rows in
+                if un_all then rel else R.distinct rel)
       in
+      Obs.Metrics.add x_rows (R.cardinality r);
       Hashtbl.add memo id r;
       r
 
@@ -340,6 +363,8 @@ and exec_group db g memo quant grouping aggs =
 let run_box db g id = run_box_memo db g (Hashtbl.create 16) id
 
 let run db g =
+  Obs.Metrics.incr x_runs;
+  Obs.Metrics.time x_run_ms @@ fun () ->
   let rel = run_box db g (G.root g) in
   let { G.order_by; limit } = G.presentation g in
   let rel =

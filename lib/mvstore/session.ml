@@ -17,6 +17,8 @@ type t = {
   mutable sverify_acc : float;  (* deterministic sampling accumulator *)
   sverify_oracle : bool;
   splanner : Plancache.Planner.t;
+  mutable strace : bool;        (* record a span trace per planning attempt *)
+  straces : Obs.Trace.ring;     (* recent traces (astql \trace show) *)
 }
 
 type outcome = Msg of string | Table of R.t | Plan of string
@@ -31,6 +33,8 @@ let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
     sverify_acc = 0.;
     sverify_oracle = verify_oracle;
     splanner = Plancache.Planner.create ?capacity:plan_capacity ();
+    strace = false;
+    straces = Obs.Trace.ring ();
   }
 
 let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
@@ -43,9 +47,15 @@ let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
     sverify_acc = 0.;
     sverify_oracle = verify_oracle;
     splanner = Plancache.Planner.create ?capacity:plan_capacity ();
+    strace = false;
+    straces = Obs.Trace.ring ();
   }
 
 let set_rewrite t b = t.srewrite <- b
+let set_trace t b = t.strace <- b
+let trace_enabled t = t.strace
+let traces t = Obs.Trace.items t.straces
+let clear_traces t = Obs.Trace.clear t.straces
 
 let set_verify t v =
   t.sverify <- v;
@@ -271,8 +281,15 @@ let build_query t q =
    all route through here, so what EXPLAIN reports is exactly what
    execution does — including cache behaviour. *)
 let plan_query t g =
-  Plancache.Planner.plan t.splanner ~cat:(Engine.Db.catalog t.sdb)
-    ~epoch:(Store.epoch t.sstore) ~mvs:(Store.rewritable t.sstore) g
+  let trace = if t.strace then Some (Obs.Trace.create ()) else None in
+  let r =
+    Plancache.Planner.plan ?trace t.splanner ~cat:(Engine.Db.catalog t.sdb)
+      ~epoch:(Store.epoch t.sstore) ~mvs:(Store.rewritable t.sstore) g
+  in
+  (match trace with
+  | Some tr -> Obs.Trace.push t.straces (Qgm.Unparse.to_sql g) tr
+  | None -> ());
+  r
 
 (* Deterministic sampling: verify whenever the accumulated rate crosses an
    integer boundary, so [Sampled 0.25] verifies exactly every 4th rewritten
@@ -374,7 +391,7 @@ let run_query t q =
     if not t.srewrite then run_query_unrewritten t g else run_query_routed t g
   with Division_by_zero -> err "division by zero in SELECT"
 
-let explain t q =
+let explain ?(verbose = false) t q =
   let g = build_query t q in
   let cat = Engine.Db.catalog t.sdb in
   let buf = Buffer.create 256 in
@@ -394,7 +411,8 @@ let explain t q =
   | [] ->
       addf "no beneficial summary-table rewrite found\n";
       (* per-summary diagnostics; the filter verdicts come from the same
-         candidate index the planner used *)
+         candidate index the planner used, the rejection reasons from the
+         same typed trace the matcher records *)
       let _, skipped =
         Plancache.Planner.classify t.splanner ~cat
           ~epoch:(Store.epoch t.sstore) ~mvs:fresh g
@@ -407,11 +425,10 @@ let explain t q =
       List.iter
         (fun (mv : Astmatch.Rewrite.mv) ->
           if was_skipped mv then
-            addf "  %s: filtered by the candidate index (footprint or \
-                  eligibility bits)\n"
-              mv.mv_name
+            addf "  %s: %s\n" mv.mv_name
+              (Obs.Trace.describe Obs.Trace.Filtered_by_index)
           else
-            let trace = Buffer.create 128 in
+            let trace = Obs.Trace.create () in
             let sites =
               Astmatch.Navigator.find_matches ~trace cat ~query:g
                 ~ast:mv.mv_graph
@@ -421,10 +438,17 @@ let explain t q =
                 mv.mv_name
             else begin
               addf "  %s: no match\n" mv.mv_name;
-              String.split_on_char '\n' (Buffer.contents trace)
-              |> List.filter (fun l -> String.trim l <> "")
-              |> List.sort_uniq compare
-              |> List.iter (fun l -> addf "    - %s\n" l)
+              if verbose then
+                String.split_on_char '\n' (Obs.Trace.render trace)
+                |> List.filter (fun l -> l <> "")
+                |> List.iter (fun l -> addf "    %s\n" l)
+              else
+                Obs.Trace.rejections trace
+                |> List.map (fun reason ->
+                       Printf.sprintf "%s [%s]" (Obs.Trace.describe reason)
+                         (Obs.Trace.reason_code reason))
+                |> List.sort_uniq compare
+                |> List.iter (fun l -> addf "    - %s\n" l)
             end)
         fresh
   | steps ->
@@ -436,7 +460,18 @@ let explain t q =
         steps;
       addf "rewritten cost estimate: %.0f\n"
         (Astmatch.Cost.graph_cost cat r.pr_graph);
-      addf "rewritten SQL: %s\n" (Qgm.Unparse.to_sql r.pr_graph));
+      addf "rewritten SQL: %s\n" (Qgm.Unparse.to_sql r.pr_graph);
+      if verbose then begin
+        (* re-run routing (uncached) with a full trace: the span tree shows
+           every candidate's navigate/match/cost verdicts, not just the
+           winning steps *)
+        let tr = Obs.Trace.create () in
+        ignore (Astmatch.Rewrite.best ~cat ~trace:tr g fresh);
+        addf "trace:\n";
+        String.split_on_char '\n' (Obs.Trace.render tr)
+        |> List.filter (fun l -> l <> "")
+        |> List.iter (fun l -> addf "  %s\n" l)
+      end);
   Buffer.contents buf
 
 (* ---------------- statements ---------------- *)
@@ -495,7 +530,7 @@ let exec_stmt_dispatch t stmt =
   | A.Select q ->
       let rel, _ = run_query t q in
       Table rel
-  | A.Explain_rewrite q -> Plan (explain t q)
+  | A.Explain_rewrite (q, verbose) -> Plan (explain ~verbose t q)
   | A.Explain_plan q ->
       let g = build_query t q in
       let cat = Engine.Db.catalog t.sdb in

@@ -45,6 +45,19 @@ val of_tables :
 
 val set_rewrite : t -> bool -> unit
 val set_verify : t -> verify -> unit
+
+(** When enabled, every planning attempt records a structured span trace
+    ({!Obs.Trace}) kept in a bounded per-session ring (the astql [\trace]
+    command). Off by default: the production path passes [None] everywhere
+    and pays nothing. *)
+val set_trace : t -> bool -> unit
+
+val trace_enabled : t -> bool
+
+(** Recorded traces, oldest first, labelled with the planned query's SQL. *)
+val traces : t -> (string * Obs.Trace.t) list
+
+val clear_traces : t -> unit
 val db : t -> Engine.Db.t
 val store : t -> Store.t
 
@@ -76,5 +89,9 @@ val exec_sql : t -> string -> outcome list
 val run_query :
   t -> Sqlsyn.Ast.query -> Data.Relation.t * Astmatch.Rewrite.step list
 
-(** Render an EXPLAIN REWRITE report for a query. *)
-val explain : t -> Sqlsyn.Ast.query -> string
+(** Render an EXPLAIN REWRITE report for a query. With [~verbose:true]
+    (EXPLAIN REWRITE VERBOSE) unmatched candidates print their full match
+    span tree — every pattern attempted and the typed reason it was
+    rejected — instead of the deduplicated reason list, and rewritten
+    queries append the complete routing trace. *)
+val explain : ?verbose:bool -> t -> Sqlsyn.Ast.query -> string

@@ -1,0 +1,67 @@
+(* Hand-rolled JSON: flat scalars, escaped strings, no dependencies. The
+   single JSON implementation shared by the metrics exporter and the bench
+   harness, so BENCH_results.json and live `\metrics` dumps render through
+   exactly the same code and schema conventions. *)
+
+type t =
+  | Str of string
+  | Num of float
+  | Int of int
+  | Bool of bool
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec render buf = function
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Num x ->
+      Buffer.add_string buf
+        (if Float.is_finite x then Printf.sprintf "%.4f" x else "null")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          render buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          render buf (Str k);
+          Buffer.add_string buf ": ";
+          render buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  render buf t;
+  Buffer.contents buf
+
+let to_file path t =
+  let buf = Buffer.create 4096 in
+  render buf t;
+  Buffer.add_char buf '\n';
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))

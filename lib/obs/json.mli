@@ -1,0 +1,18 @@
+(** Minimal JSON rendering (no parser, no dependencies). The bench harness
+    and the metrics exporter share this module, so their output follows one
+    schema convention: [Num] renders with four decimals (null when not
+    finite), strings are escaped, objects preserve field order. *)
+
+type t =
+  | Str of string
+  | Num of float
+  | Int of int
+  | Bool of bool
+  | List of t list
+  | Obj of (string * t) list
+
+val render : Buffer.t -> t -> unit
+val to_string : t -> string
+
+(** Renders with a trailing newline. *)
+val to_file : string -> t -> unit

@@ -1,0 +1,166 @@
+(* The process-wide metrics registry: named monotonic counters, gauges and
+   fixed-bucket latency histograms.
+
+   Hot-path discipline: a handle is interned once (usually at module
+   initialization) and every update is a plain mutable-int/float store on
+   the handle — no hashing, no allocation, no formatting. Export walks the
+   registry and is the only place that allocates. The registry is global on
+   purpose: the planning layers (navigator, match function, plan cache,
+   executor) tick it unconditionally so that `\metrics`, `--metrics-out`
+   and the bench all read the same numbers. *)
+
+type counter = { c_name : string; mutable c_v : int }
+type gauge = { g_name : string; mutable g_v : float }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (* inclusive upper bounds, milliseconds *)
+  h_counts : int array;    (* length = Array.length h_bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : float;   (* milliseconds *)
+}
+
+(* Latency buckets in ms: ~10us .. 1s, then overflow. *)
+let default_bounds =
+  [| 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000. |]
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_v = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = c.c_v <- c.c_v + 1
+let add c n = c.c_v <- c.c_v + n
+let counter_value c = c.c_v
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_v = 0. } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set g v = g.g_v <- v
+let gauge_value g = g.g_v
+
+let histogram ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_count = 0;
+          h_sum = 0.;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe h ms =
+  let n = Array.length h.h_bounds in
+  let rec slot i = if i >= n || ms <= h.h_bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. ms
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let bucket_counts h = Array.copy h.h_counts
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let time h f =
+  let t0 = now_ms () in
+  match f () with
+  | v ->
+      observe h (now_ms () -. t0);
+      v
+  | exception e ->
+      observe h (now_ms () -. t0);
+      raise e
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_v <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_v <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.)
+    histograms
+
+(* ---------------- export ---------------- *)
+
+let selected ?(prefix = "") tbl =
+  Hashtbl.fold
+    (fun name v acc ->
+      if String.starts_with ~prefix name then (name, v) :: acc else acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* The metrics JSON schema (shared verbatim by BENCH_results.json's
+   "metrics" object and the `\metrics` / --metrics-out dumps):
+   { "counters":   { name: int, ... },
+     "gauges":     { name: num, ... },
+     "histograms": { name: { "count": int, "sum_ms": num,
+                             "buckets": [ { "le_ms": num, "count": int } ... ],
+                             "overflow": int }, ... } } *)
+let to_json ?prefix () =
+  let hist_json h =
+    Json.Obj
+      [
+        ("count", Json.Int h.h_count);
+        ("sum_ms", Json.Num h.h_sum);
+        ( "buckets",
+          Json.List
+            (List.mapi
+               (fun i b ->
+                 Json.Obj
+                   [ ("le_ms", Json.Num b); ("count", Json.Int h.h_counts.(i)) ])
+               (Array.to_list h.h_bounds)) );
+        ("overflow", Json.Int h.h_counts.(Array.length h.h_bounds));
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, c) -> (n, Json.Int c.c_v)) (selected ?prefix counters)) );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (n, g) -> (n, Json.Num g.g_v)) (selected ?prefix gauges)) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, h) -> (n, hist_json h)) (selected ?prefix histograms)) );
+    ]
+
+let to_text ?prefix () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (n, c) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" n c.c_v))
+    (selected ?prefix counters);
+  List.iter
+    (fun (n, g) -> Buffer.add_string buf (Printf.sprintf "%-40s %g\n" n g.g_v))
+    (selected ?prefix gauges);
+  List.iter
+    (fun (n, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s count=%d sum=%.3fms avg=%.3fms\n" n h.h_count
+           h.h_sum
+           (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count)))
+    (selected ?prefix histograms);
+  Buffer.contents buf
+
+let dump ?prefix path = Json.to_file path (to_json ?prefix ())

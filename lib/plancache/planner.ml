@@ -76,16 +76,28 @@ let report_of g fp ~hit ~errors (e : entry) =
     pr_errors = errors;
   }
 
-let plan_raw t ~cat ~epoch ~mvs g =
+let m_requests = Obs.Metrics.counter "plan.requests"
+let m_hits = Obs.Metrics.counter "plan.cache_hits"
+let m_misses = Obs.Metrics.counter "plan.cache_misses"
+let m_rewrites = Obs.Metrics.counter "plan.rewrites"
+let m_filtered = Obs.Metrics.counter "plan.filtered"
+let m_quarantine_skips = Obs.Metrics.counter "plan.quarantine_skips"
+let m_errors = Obs.Metrics.counter "plan.contained_errors"
+let m_plan_ms = Obs.Metrics.histogram "plan.ms"
+
+let plan_raw ?trace t ~cat ~epoch ~mvs g =
   let st = t.p_stats in
   let fp = Qgm.Fingerprint.of_graph g in
   match Cache.find t.p_cache ~epoch fp with
   | Cache.Hit e ->
       st.Stats.hits <- st.Stats.hits + 1;
+      Obs.Metrics.incr m_hits;
+      Obs.Trace.accept trace ~kind:"cache" ~label:fp "hit";
       report_of g fp ~hit:true ~errors:[] e
   | (Cache.Stale | Cache.Absent) as l ->
       if l = Cache.Stale then st.Stats.invalidated <- st.Stats.invalidated + 1;
       st.Stats.misses <- st.Stats.misses + 1;
+      Obs.Metrics.incr m_misses;
       let kept, skipped = classify t ~cat ~epoch ~mvs g in
       let held_names = Guard.Quarantine.blocked t.p_quarantine ~epoch ~fp in
       let kept, held =
@@ -94,10 +106,22 @@ let plan_raw t ~cat ~epoch ~mvs g =
             not (List.mem mv.mv_name held_names))
           kept
       in
+      List.iter
+        (fun (mv : Astmatch.Rewrite.mv) ->
+          Obs.Trace.reject trace ~kind:"candidate" ~label:mv.mv_name
+            Obs.Trace.Filtered_by_index)
+        skipped;
+      List.iter
+        (fun (mv : Astmatch.Rewrite.mv) ->
+          Obs.Trace.reject trace ~kind:"candidate" ~label:mv.mv_name
+            Obs.Trace.Quarantined)
+        held;
       st.Stats.quarantine_skips <-
         st.Stats.quarantine_skips + List.length held;
       st.Stats.attempted <- st.Stats.attempted + List.length kept;
       st.Stats.filtered <- st.Stats.filtered + List.length skipped;
+      Obs.Metrics.add m_filtered (List.length skipped);
+      Obs.Metrics.add m_quarantine_skips (List.length held);
       (* contained failures: the offending summary table is quarantined for
          this fingerprint and planning continues with the others *)
       let errors = ref [] in
@@ -105,13 +129,18 @@ let plan_raw t ~cat ~epoch ~mvs g =
         let err = Guard.Error.classify ~stage:Guard.Error.Match ~mv:mv_name exn in
         errors := err :: !errors;
         st.Stats.rw_errors <- st.Stats.rw_errors + 1;
+        Obs.Metrics.incr m_errors;
+        Obs.Trace.reject trace ~kind:"candidate" ~label:mv_name
+          (Obs.Trace.Contained_error (Guard.Error.to_string err));
         if Guard.Quarantine.add t.p_quarantine ~epoch ~fp ~mv:mv_name then
           st.Stats.quarantined <- st.Stats.quarantined + 1
       in
       let decision =
-        match Astmatch.Rewrite.best ~cat ~on_error g kept with
+        match Astmatch.Rewrite.best ~cat ~on_error ?trace g kept with
         | None -> No_rewrite
-        | Some (g', steps) -> Rewrite (g', steps)
+        | Some (g', steps) ->
+            Obs.Metrics.incr m_rewrites;
+            Rewrite (g', steps)
       in
       (* a contained failure that left the query unrewritten is a fallback
          to the base plan; if another AST still served it, it is not *)
@@ -129,13 +158,26 @@ let plan_raw t ~cat ~epoch ~mvs g =
       st.Stats.inserted <- st.Stats.inserted + 1;
       report_of g fp ~hit:false ~errors:(List.rev !errors) e
 
-let plan t ~cat ~epoch ~mvs g =
+let plan ?trace t ~cat ~epoch ~mvs g =
   (* the outer sandbox: even a failure outside any one candidate
      (fingerprinting, the candidate index, base-graph costing, the cache
      itself) degrades to the unrewritten plan, never to an exception *)
+  Obs.Metrics.incr m_requests;
   match
-    Guard.Sandbox.protect ~stage:Guard.Error.Plan (fun () ->
-        plan_raw t ~cat ~epoch ~mvs g)
+    Obs.Metrics.time m_plan_ms (fun () ->
+        Guard.Sandbox.protect ~stage:Guard.Error.Plan (fun () ->
+            Obs.Trace.with_span trace ~kind:"plan" ~label:""
+              ~result:(fun r ->
+                match r.pr_steps with
+                | [] -> Obs.Trace.Step
+                | steps ->
+                    Obs.Trace.Accepted
+                      (Printf.sprintf "rewritten via %s"
+                         (String.concat ", "
+                            (List.map
+                               (fun (s : Astmatch.Rewrite.step) -> s.used_mv)
+                               steps))))
+              (fun () -> plan_raw ?trace t ~cat ~epoch ~mvs g)))
   with
   | Ok r -> r
   | Error err ->

@@ -43,8 +43,14 @@ val create : ?capacity:int -> ?quarantine_capacity:int -> unit -> t
 (** [plan t ~cat ~epoch ~mvs g] routes [g] through the fresh summary
     tables [mvs]. [epoch] must change whenever [mvs], their contents, the
     catalog, or base-table data change (see {!Cache}); the candidate index
-    is rebuilt lazily per epoch. Never raises (see above). *)
+    is rebuilt lazily per epoch. Never raises (see above).
+
+    With [trace], the attempt is recorded as a [plan] span whose children
+    are the per-candidate verdicts: index-filtered and quarantined
+    candidates appear as typed rejections, and the ones handed to the
+    matcher carry the full navigate/match/cost sub-tree. *)
 val plan :
+  ?trace:Obs.Trace.t ->
   t ->
   cat:Catalog.t ->
   epoch:int ->

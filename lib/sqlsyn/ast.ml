@@ -79,7 +79,7 @@ type stmt =
   | Drop_summary of ident
   | Refresh_summary of ident
   | Select of query
-  | Explain_rewrite of query
+  | Explain_rewrite of (query * bool)  (* true = VERBOSE (full span trace) *)
   | Explain_plan of query
 
 let empty_query =

@@ -671,7 +671,10 @@ let parse_stmt_body st =
   end
   else if at_kw st "EXPLAIN" then begin
     advance st;
-    if eat_kw st "REWRITE" then Ast.Explain_rewrite (parse_query_body st)
+    if eat_kw st "REWRITE" then begin
+      let verbose = eat_kw st "VERBOSE" in
+      Ast.Explain_rewrite (parse_query_body st, verbose)
+    end
     else begin
       ignore (eat_kw st "PLAN");
       Ast.Explain_plan (parse_query_body st)

@@ -165,7 +165,10 @@ let query_to_string q = asprintf "%a" pp_query q
 
 let stmt_to_string = function
   | Ast.Select q -> query_to_string q
-  | Ast.Explain_rewrite q -> "EXPLAIN REWRITE " ^ query_to_string q
+  | Ast.Explain_rewrite (q, verbose) ->
+      "EXPLAIN REWRITE "
+      ^ (if verbose then "VERBOSE " else "")
+      ^ query_to_string q
   | Ast.Explain_plan q -> "EXPLAIN " ^ query_to_string q
   | Ast.Create_summary { cs_name; cs_query } ->
       Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" cs_name

@@ -31,4 +31,5 @@ let () =
       ("fingerprint", Test_fingerprint.suite);
       ("plancache", Test_plancache.suite);
       ("guard", Test_guard.suite);
+      ("obs", Test_obs.suite);
     ]

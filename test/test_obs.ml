@@ -1,0 +1,228 @@
+(* The observability layer: metrics-registry semantics (counters, gauges,
+   histogram buckets, the JSON export schema shared with
+   BENCH_results.json) and structured planning traces — span trees, typed
+   rejection reasons, and the navigator/match instrumentation on one
+   accepted and one rejected candidate from the paper's figures. *)
+
+module M = Obs.Metrics
+module T = Obs.Trace
+open Helpers
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- metrics registry ---------------- *)
+
+let test_counter () =
+  let c = M.counter "obst.count" in
+  let c' = M.counter "obst.count" in
+  Alcotest.(check bool) "interning returns the same handle" true (c == c');
+  let before = M.counter_value c in
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "incr + add" (before + 5) (M.counter_value c')
+
+let test_gauge () =
+  let g = M.gauge "obst.gauge" in
+  M.set g 2.5;
+  Alcotest.(check (float 1e-9)) "set/read" 2.5 (M.gauge_value g);
+  M.set g 0.25;
+  Alcotest.(check (float 1e-9)) "overwrite" 0.25 (M.gauge_value g)
+
+let test_histogram () =
+  let h = M.histogram ~bounds:[| 1.; 10.; 100. |] "obst.hist" in
+  List.iter (M.observe h) [ 0.5; 1.0; 7.; 50.; 5000. ];
+  Alcotest.(check int) "count" 5 (M.hist_count h);
+  Alcotest.(check (float 1e-6)) "sum" 5058.5 (M.hist_sum h);
+  (* inclusive upper bounds; the final slot is the overflow bucket *)
+  Alcotest.(check (array int)) "bucket placement" [| 2; 1; 1; 1 |]
+    (M.bucket_counts h);
+  (* time records also on exception (and re-raises) *)
+  (try M.time h (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "time on exception still observed" 6 (M.hist_count h)
+
+let test_json_golden () =
+  (* the schema BENCH_results.json embeds; prefix-filtered so the global
+     registry's live planner metrics stay out of the comparison *)
+  let c = M.counter "obsg.hits" in
+  let g = M.gauge "obsg.ratio" in
+  let h = M.histogram ~bounds:[| 1.; 10. |] "obsg.lat_ms" in
+  M.add c 3;
+  M.set g 0.5;
+  List.iter (M.observe h) [ 0.4; 5.; 50. ];
+  Alcotest.(check string) "metrics JSON schema"
+    ("{\"counters\": {\"obsg.hits\": 3}, "
+   ^ "\"gauges\": {\"obsg.ratio\": 0.5000}, "
+   ^ "\"histograms\": {\"obsg.lat_ms\": {\"count\": 3, \"sum_ms\": 55.4000, "
+   ^ "\"buckets\": [{\"le_ms\": 1.0000, \"count\": 1}, "
+   ^ "{\"le_ms\": 10.0000, \"count\": 1}], \"overflow\": 1}}}")
+    (Obs.Json.to_string (M.to_json ~prefix:"obsg." ()))
+
+(* ---------------- trace mechanics ---------------- *)
+
+let test_trace_spans () =
+  let tr = T.create () in
+  let trace = Some tr in
+  let v =
+    T.with_span trace ~kind:"plan" ~label:"q1"
+      ~result:(fun n -> T.Accepted (string_of_int n))
+      (fun () ->
+        T.with_span trace ~kind:"candidate" ~label:"mv1" (fun () ->
+            T.reject trace ~kind:"check" ~label:"" T.Agg_not_preserved;
+            T.reject trace ~kind:"check" ~label:"" T.Agg_not_preserved;
+            (* identical consecutive leaves dedup *)
+            T.reject trace ~kind:"cost" ~label:"mv1"
+              (T.Cost_not_better (10., 5.)));
+        41 + 1)
+  in
+  Alcotest.(check int) "with_span is transparent" 42 v;
+  (match T.roots tr with
+  | [ root ] ->
+      Alcotest.(check string) "root kind" "plan" root.T.sp_kind;
+      Alcotest.(check bool) "root outcome" true
+        (root.T.sp_outcome = T.Accepted "42");
+      (match root.T.sp_children with
+      | [ cand ] ->
+          Alcotest.(check int) "dedup left two leaves" 2
+            (List.length cand.T.sp_children)
+      | _ -> Alcotest.fail "expected one candidate child")
+  | _ -> Alcotest.fail "expected a single root");
+  Alcotest.(check int) "rejections, pre-order" 2
+    (List.length (T.rejections tr));
+  Alcotest.(check string) "reason codes are stable" "aggregate-not-preserved"
+    (T.reason_code T.Agg_not_preserved);
+  let out = T.render tr in
+  Alcotest.(check bool) "render names the typed reason" true
+    (contains out "cost-not-better");
+  (* an exception still pops the open span: the next span is a new root *)
+  (try
+     T.with_span trace ~kind:"plan" ~label:"boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  T.event trace ~kind:"plan" ~label:"after";
+  Alcotest.(check int) "exception popped the span stack" 3
+    (List.length (T.roots tr))
+
+let test_trace_ring () =
+  let rg = T.ring ~capacity:2 () in
+  T.push rg "a" (T.create ());
+  T.push rg "b" (T.create ());
+  T.push rg "c" (T.create ());
+  Alcotest.(check int) "bounded" 2 (T.ring_length rg);
+  Alcotest.(check (list string)) "oldest evicted, oldest first"
+    [ "b"; "c" ]
+    (List.map fst (T.items rg));
+  T.clear rg;
+  Alcotest.(check int) "clear" 0 (T.ring_length rg)
+
+(* ---------------- traces from the paper-figure matcher ---------------- *)
+
+(* Table 1's schema (test_paper_figures.ml): Trans(flid, date). *)
+let trans_catalog () =
+  Catalog.add_table Catalog.empty
+    {
+      Catalog.tbl_name = "Trans";
+      tbl_cols =
+        [
+          { Catalog.col_name = "flid"; col_ty = Data.Value.Tint; nullable = false };
+          { Catalog.col_name = "date"; col_ty = Data.Value.Tdate; nullable = false };
+        ];
+      primary_key = [];
+      unique_keys = [];
+      foreign_keys = [];
+    }
+
+let nav_trace cat ~query ~ast =
+  let tr = T.create () in
+  let sites =
+    Astmatch.Navigator.find_matches ~trace:tr cat ~query:(build cat query)
+      ~ast:(build cat ast)
+  in
+  (sites, tr)
+
+let test_trace_accepted_candidate () =
+  let cat = trans_catalog () in
+  (* the regroup case: query groups coarser than the summary (section 4.1.2) *)
+  let sites, tr =
+    nav_trace cat ~query:"select flid, count(*) as cnt from Trans group by flid"
+      ~ast:
+        "select flid, year(date) as year, count(*) as cnt from Trans group by \
+         flid, year(date)"
+  in
+  Alcotest.(check bool) "matches" true (sites <> []);
+  let out = T.render tr in
+  Alcotest.(check bool) "navigate span present" true
+    (contains out "navigate");
+  Alcotest.(check bool) "match-pattern span present" true
+    (contains out "match query box");
+  Alcotest.(check bool) "site accepted" true
+    (contains out "accepted")
+
+let test_trace_rejected_candidate () =
+  let cat = trans_catalog () in
+  (* Table 1's trap: the summary's HAVING filtered away groups the query
+     needs — the matcher must refuse, and say why in a typed reason *)
+  let sites, tr =
+    nav_trace cat ~query:"select flid, count(*) as cnt from Trans group by flid"
+      ~ast:
+        "select flid, year(date) as year, count(*) as cnt from Trans group by \
+         flid, year(date) having count(*) > 2"
+  in
+  Alcotest.(check bool) "refused" true (sites = []);
+  let rejs = T.rejections tr in
+  Alcotest.(check bool) "typed rejection recorded" true (rejs <> []);
+  List.iter
+    (fun r ->
+      let code = T.reason_code r in
+      Alcotest.(check bool)
+        (Printf.sprintf "code %S is kebab-case" code)
+        true
+        (String.length code > 0
+        && String.for_all
+             (fun ch -> (ch >= 'a' && ch <= 'z') || ch = '-')
+             code))
+    rejs;
+  let out = T.render tr in
+  Alcotest.(check bool) "render names the rejection" true
+    (contains out "rejected")
+
+let test_explain_verbose_names_pattern_and_reason () =
+  let sn = Mvstore.Session.create () in
+  ignore
+    (Mvstore.Session.exec_sql sn
+       "CREATE TABLE Trans (flid INT NOT NULL, date DATE NOT NULL)");
+  ignore
+    (Mvstore.Session.exec_sql sn
+       "INSERT INTO Trans VALUES (1, DATE '1990-01-03'), (1, DATE \
+        '1990-02-10'), (1, DATE '1990-04-12'), (1, DATE '1991-10-20')");
+  ignore
+    (Mvstore.Session.exec_sql sn
+       "CREATE SUMMARY TABLE ast1 AS select flid, year(date) as year, \
+        count(*) as cnt from Trans group by flid, year(date) having count(*) \
+        > 2");
+  let q =
+    Sqlsyn.Parser.parse_query
+      "select flid, count(*) as cnt from Trans group by flid"
+  in
+  let out = Mvstore.Session.explain ~verbose:true sn q in
+  Alcotest.(check bool) "verbose explain shows the match attempt" true
+    (contains out "match query box");
+  Alcotest.(check bool) "verbose explain shows a typed rejection" true
+    (contains out "rejected")
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "metrics JSON golden" `Quick test_json_golden;
+    Alcotest.test_case "span tree + typed rejections" `Quick test_trace_spans;
+    Alcotest.test_case "trace ring buffer" `Quick test_trace_ring;
+    Alcotest.test_case "trace: accepted candidate" `Quick
+      test_trace_accepted_candidate;
+    Alcotest.test_case "trace: rejected candidate" `Quick
+      test_trace_rejected_candidate;
+    Alcotest.test_case "EXPLAIN REWRITE VERBOSE" `Quick
+      test_explain_verbose_names_pattern_and_reason;
+  ]
