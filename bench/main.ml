@@ -97,6 +97,7 @@ module Json = Obs.Json
 let figure_rows : Json.t list ref = ref []
 let workload_rows : Json.t list ref = ref []
 let planning_obj : Json.t ref = ref (Json.Obj [])
+let governed_obj : Json.t ref = ref (Json.Obj [])
 
 let () =
   Printf.printf "=== astrw bench: scale %d ===\n%!" scale;
@@ -422,6 +423,114 @@ let () =
         ("candidates_filtered", Json.Int st.Plancache.Stats.filtered);
       ];
 
+  (* ---------------- PERF6: governed planning at 64 summary tables ---- *)
+  (* Tail-latency control: cold rewrite planning over a store of 64
+     summary tables, with and without a 10 ms deadline. Each sample plans
+     on a fresh planner (no cache, index rebuilt) so the distribution is
+     the worst-case path; the deadline pass reports how many plans were
+     truncated. The smoke gate requires ZERO degradation under the default
+     infinite budget — a governed build must not throttle ungoverned
+     planning. *)
+  Printf.printf
+    "=== PERF6: planning-latency distribution under a deadline (64 MVs) ===\n";
+  let gdims = dims @ [ ("qty", "qty") ] in
+  let gsubsets =
+    let rec go = function
+      | [] -> [ [] ]
+      | x :: rest ->
+          let r = go rest in
+          r @ List.map (fun s -> x :: s) r
+    in
+    List.filter (fun s -> s <> []) (go gdims)
+  in
+  let gsn = Mvstore.Session.of_tables (W.catalog ()) tiny in
+  List.iteri
+    (fun i keys ->
+      let sel = String.concat ", " (List.map fst keys) in
+      let grp = String.concat ", " (List.map snd keys) in
+      ignore
+        (Mvstore.Session.exec_sql gsn
+           (Printf.sprintf
+              "CREATE SUMMARY TABLE g_mv%d AS SELECT %s, COUNT(*) AS c, \
+               SUM(qty) AS sq FROM Trans GROUP BY %s"
+              i sel grp)))
+    gsubsets;
+  ignore
+    (Mvstore.Session.exec_sql gsn
+       "CREATE SUMMARY TABLE g_mv_recent AS SELECT flid, COUNT(*) AS c, \
+        SUM(qty) AS sq FROM Trans WHERE year(date) >= 1995 GROUP BY flid");
+  let gstore = Mvstore.Session.store gsn in
+  let gcat = Engine.Db.catalog (Mvstore.Session.db gsn) in
+  let gmvs = Mvstore.Store.rewritable gstore in
+  let n64 = List.length gmvs in
+  let ggraphs = List.map (fun sql -> build gcat sql) mix in
+  let grounds = if smoke then 4 else 25 in
+  let run_pass deadline =
+    let lats = ref [] and degraded = ref 0 in
+    for _ = 1 to grounds do
+      List.iter
+        (fun g ->
+          (* fresh planner and budget per sample: cold path, full account *)
+          let planner = Plancache.Planner.create () in
+          let budget =
+            Option.map
+              (fun ms ->
+                Govern.Budget.start (Govern.Budget.limits ~deadline_ms:ms ()))
+              deadline
+          in
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Plancache.Planner.plan ?budget planner ~cat:gcat
+              ~epoch:(Mvstore.Store.epoch gstore) ~mvs:gmvs g
+          in
+          lats := ((Unix.gettimeofday () -. t0) *. 1000.) :: !lats;
+          if r.Plancache.Planner.pr_degraded <> None then incr degraded)
+        ggraphs
+    done;
+    (List.sort compare !lats, !degraded)
+  in
+  let pct lats p =
+    let n = List.length lats in
+    List.nth lats (min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let lats_inf, degr_inf = run_pass None in
+  let lats_dl, degr_dl = run_pass (Some 10.0) in
+  let row label lats degraded =
+    Printf.printf
+      "%-18s p50 %8.3f ms   p95 %8.3f ms   p99 %8.3f ms   max %8.3f ms   \
+       degraded %d/%d\n"
+      label (pct lats 0.50) (pct lats 0.95) (pct lats 0.99) (pct lats 1.0)
+      degraded (List.length lats);
+    Json.Obj
+      [
+        ("p50_ms", Json.Num (pct lats 0.50));
+        ("p95_ms", Json.Num (pct lats 0.95));
+        ("p99_ms", Json.Num (pct lats 0.99));
+        ("max_ms", Json.Num (pct lats 1.0));
+        ("degraded", Json.Int degraded);
+        ("samples", Json.Int (List.length lats));
+      ]
+  in
+  Printf.printf "MVs: %d, query mix: %d, samples per pass: %d\n" n64
+    (List.length mix)
+    (grounds * List.length mix);
+  let inf_row = row "unlimited" lats_inf degr_inf in
+  let dl_row = row "deadline 10ms" lats_dl degr_dl in
+  if degr_inf > 0 then begin
+    incr fails;
+    Printf.printf
+      "GOVERNANCE FAILURE: %d plan(s) degraded under the infinite budget\n"
+      degr_inf
+  end;
+  governed_obj :=
+    Json.Obj
+      [
+        ("mvs", Json.Int n64);
+        ("unlimited", inf_row);
+        ("deadline_10ms", dl_row);
+      ];
+  print_newline ();
+
   (* ---------------- PERF5: runtime-verification overhead ------------- *)
   (* Cost of Session verify modes: every verified query executes the base
      plan too, so Always pays roughly base+mv per rewritten query and
@@ -497,6 +606,7 @@ let () =
                ("rewritten_ms", Json.Num (!tot_plan +. !tot_exec));
              ] );
          ("planning", !planning_obj);
+         ("governed_planning", !governed_obj);
          ("verification", Json.Obj verify_rows);
          (* the live registry, same schema as \metrics json / --metrics-out *)
          ("metrics", Obs.Metrics.to_json ());

@@ -107,6 +107,40 @@ let print_health session =
 
 let print_metrics () = print_string (Obs.Metrics.to_text ())
 
+let print_limits session =
+  Printf.printf "limits: %s\n"
+    (Govern.Budget.describe (Mvstore.Session.limits session))
+
+(* \limits [off | deadline MS | matches N | candidates N | rows N] *)
+let set_limits session args =
+  let module B = Govern.Budget in
+  let cur = Mvstore.Session.limits session in
+  let bad () =
+    print_endline
+      "usage: \\limits [off | deadline MS | matches N | candidates N | rows N]"
+  in
+  (match args with
+  | [] -> ()
+  | [ "off" ] -> Mvstore.Session.set_limits session B.unlimited
+  | [ "deadline"; v ] -> (
+      match float_of_string_opt v with
+      | Some ms when ms > 0. ->
+          Mvstore.Session.set_limits session
+            { cur with B.bl_deadline_ms = Some ms }
+      | _ -> bad ())
+  | [ key; v ] -> (
+      match (key, int_of_string_opt v) with
+      | "matches", Some n when n > 0 ->
+          Mvstore.Session.set_limits session { cur with B.bl_matches = Some n }
+      | "candidates", Some n when n > 0 ->
+          Mvstore.Session.set_limits session
+            { cur with B.bl_candidates = Some n }
+      | "rows", Some n when n > 0 ->
+          Mvstore.Session.set_limits session { cur with B.bl_rows = Some n }
+      | _ -> bad ())
+  | _ -> bad ());
+  print_limits session
+
 let print_traces session =
   match Mvstore.Session.traces session with
   | [] ->
@@ -122,7 +156,8 @@ let print_traces session =
 let repl session =
   print_endline
     "astql — type SQL statements ending with ';'  (\\q to quit, \\stats for \
-     planner counters, \\health for fault-isolation counters, \\trace \
+     planner counters, \\health for fault-isolation and maintenance \
+     counters, \\limits to show/set per-statement resource budgets, \\trace \
      on|off|show for planning traces, \\metrics [json] for the metrics \
      registry)";
   let buf = Buffer.create 256 in
@@ -140,6 +175,20 @@ let repl session =
         end
         else if trimmed = "\\health" then begin
           print_health session;
+          loop ()
+        end
+        else if trimmed = "\\limits" then begin
+          print_limits session;
+          loop ()
+        end
+        else if
+          String.length trimmed > 8 && String.sub trimmed 0 8 = "\\limits "
+        then begin
+          set_limits session
+            (String.sub trimmed 8 (String.length trimmed - 8)
+            |> String.split_on_char ' '
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> ""));
           loop ()
         end
         else if trimmed = "\\trace on" then begin
@@ -178,19 +227,33 @@ let repl session =
   in
   loop ()
 
-let make_session ~rewrite ~verify ~demo ~scale =
+(* Per-statement resource limits: the environment defaults
+   (ASTQL_DEADLINE_MS / ASTQL_MATCH_BUDGET) overridden by the flags. *)
+let limits_of ~deadline_ms ~match_budget =
+  let module B = Govern.Budget in
+  let l = B.default_limits () in
+  let l =
+    match deadline_ms with
+    | None -> l
+    | Some ms -> { l with B.bl_deadline_ms = Some ms }
+  in
+  match match_budget with
+  | None -> l
+  | Some n -> { l with B.bl_matches = Some n }
+
+let make_session ~rewrite ~verify ~budget ~auto_maint ~demo ~scale =
   if demo then begin
     let params = Workload.Star_schema.scaled scale in
     let tables = Workload.Star_schema.generate params in
     let session =
-      Mvstore.Session.of_tables ~rewrite ~verify
+      Mvstore.Session.of_tables ~rewrite ~verify ~budget ~auto_maint
         (Workload.Star_schema.catalog ()) tables
     in
     Printf.printf "loaded star schema (%d transactions)\n"
       (Data.Relation.cardinality (List.assoc "Trans" tables));
     session
   end
-  else Mvstore.Session.create ~rewrite ~verify ()
+  else Mvstore.Session.create ~rewrite ~verify ~budget ~auto_maint ()
 
 open Cmdliner
 
@@ -229,9 +292,38 @@ let fault_arg =
   let doc =
     "Arm deterministic fault-injection points (testing): comma-separated \
      $(i,point)[:$(i,N)] where point is navigate, match, compensate, \
-     translate or corrupt — the Nth hit of that point fails (default 1)."
+     translate, corrupt, refresh or delay — the Nth hit of that point \
+     fails (default 1; $(b,delay) instead stalls every hit from the Nth \
+     on, for exercising deadlines)."
   in
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-statement wall-clock deadline in milliseconds. When planning \
+     overruns it, the best-so-far (possibly unrewritten) plan is used and \
+     EXPLAIN REWRITE reports $(b,degraded); when rewritten execution \
+     overruns it, the base plan is re-run unbudgeted. Defaults to \
+     $(b,ASTQL_DEADLINE_MS) from the environment, else unlimited."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let match_budget_arg =
+  let doc =
+    "Per-statement cap on match-function invocations during rewrite \
+     planning. Defaults to $(b,ASTQL_MATCH_BUDGET) from the environment, \
+     else unlimited."
+  in
+  Arg.(value & opt (some int) None & info [ "match-budget" ] ~docv:"N" ~doc)
+
+let auto_maint_flag =
+  let doc =
+    "Self-healing maintenance: auto-refresh summary tables that DML left \
+     stale, at statement boundaries under the session budget, with \
+     exponential backoff and quarantine after repeated refresh failures."
+  in
+  Arg.(value & flag & info [ "auto-maint" ] ~doc)
 
 let arm_faults = function
   | None -> ()
@@ -276,10 +368,13 @@ let dump_metrics = function
 
 let run_cmd =
   let doc = "Execute SQL script files." in
-  let run no_rewrite verify fault stats health metrics_out files =
+  let run no_rewrite verify fault deadline_ms match_budget auto_maint stats
+      health metrics_out files =
     arm_faults fault;
     let session =
-      make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1
+      make_session ~rewrite:(not no_rewrite) ~verify
+        ~budget:(limits_of ~deadline_ms ~match_budget)
+        ~auto_maint ~demo:false ~scale:1
     in
     let ok =
       List.fold_left
@@ -295,30 +390,41 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ rewrite_flag $ verify_arg $ fault_arg $ stats_flag
-      $ health_flag $ metrics_out_arg $ files_arg)
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
+      $ match_budget_arg $ auto_maint_flag $ stats_flag $ health_flag
+      $ metrics_out_arg $ files_arg)
 
 let repl_cmd =
   let doc = "Interactive shell over an empty database." in
-  let run no_rewrite verify fault metrics_out =
+  let run no_rewrite verify fault deadline_ms match_budget auto_maint
+      metrics_out =
     arm_faults fault;
-    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:false ~scale:1);
+    repl
+      (make_session ~rewrite:(not no_rewrite) ~verify
+         ~budget:(limits_of ~deadline_ms ~match_budget)
+         ~auto_maint ~demo:false ~scale:1);
     dump_metrics metrics_out
   in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const run $ rewrite_flag $ verify_arg $ fault_arg $ metrics_out_arg)
+    Term.(
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
+      $ match_budget_arg $ auto_maint_flag $ metrics_out_arg)
 
 let demo_cmd =
   let doc = "Interactive shell preloaded with the paper's star schema." in
-  let run no_rewrite verify fault scale metrics_out =
+  let run no_rewrite verify fault deadline_ms match_budget auto_maint scale
+      metrics_out =
     arm_faults fault;
-    repl (make_session ~rewrite:(not no_rewrite) ~verify ~demo:true ~scale);
+    repl
+      (make_session ~rewrite:(not no_rewrite) ~verify
+         ~budget:(limits_of ~deadline_ms ~match_budget)
+         ~auto_maint ~demo:true ~scale);
     dump_metrics metrics_out
   in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const run $ rewrite_flag $ verify_arg $ fault_arg $ scale_arg
-      $ metrics_out_arg)
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
+      $ match_budget_arg $ auto_maint_flag $ scale_arg $ metrics_out_arg)
 
 let advise_cmd =
   let doc =

@@ -8,10 +8,11 @@ type t = {
   ag : Qgm.Graph.t;  (* AST graph: subsumers *)
   memo : (int * int, Mtypes.result option) Hashtbl.t;
   trace : Obs.Trace.t option;  (* when set, spans and rejections recorded *)
+  budget : Govern.Budget.t option;  (* when set, match calls are metered *)
 }
 
-let create ?trace cat ~query ~ast =
-  { cat; qg = query; ag = ast; memo = Hashtbl.create 64; trace }
+let create ?trace ?budget cat ~query ~ast =
+  { cat; qg = query; ag = ast; memo = Hashtbl.create 64; trace; budget }
 
 (* Record the typed reason why the current candidate pair was rejected.
    Diagnostics only — never consulted by the algorithm. *)

@@ -14,9 +14,12 @@ type site = {
 
 (** All query boxes that match the AST's root box. When [trace] is given,
     a [navigate] span with per-pair match spans and typed rejection reasons
-    is recorded in it (diagnostics for EXPLAIN REWRITE and [\trace]). *)
+    is recorded in it (diagnostics for EXPLAIN REWRITE and [\trace]).
+    When [budget] is given, every match-function invocation is metered
+    against it and may raise {!Govern.Budget.Budget_exhausted}. *)
 val find_matches :
-  ?trace:Obs.Trace.t -> Catalog.t -> query:Qgm.Graph.t -> ast:Qgm.Graph.t ->
+  ?trace:Obs.Trace.t -> ?budget:Govern.Budget.t -> Catalog.t ->
+  query:Qgm.Graph.t -> ast:Qgm.Graph.t ->
   site list
 
 (** Convenience: does any query box match the AST root? *)

@@ -202,6 +202,8 @@ let rec match_boxes (ctx : Mctx.t) e_id r_id =
   incr calls;
   Obs.Metrics.incr m_calls;
   Guard.Fault.hit Guard.Fault.Match;
+  Guard.Fault.maybe_delay ();
+  Govern.Budget.tick_match ctx.Mctx.budget;
   match Hashtbl.find_opt ctx.Mctx.memo (e_id, r_id) with
   | Some res ->
       Obs.Metrics.incr m_memo_hits;

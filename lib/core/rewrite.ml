@@ -3,7 +3,7 @@ module B = Qgm.Box
 module G = Qgm.Graph
 module M = Mtypes
 
-type mv = { mv_name : string; mv_graph : G.t }
+type mv = { mv_name : string; mv_graph : G.t; mv_version : int }
 type step = { used_mv : string; target : B.box_id; exact : bool }
 
 
@@ -181,7 +181,13 @@ let guarded on_error mv_name fallback f =
   | Some h -> (
       match f () with
       | v -> v
-      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+      | exception ((Sys.Break | Guard.Error.Fatal _
+                   | Govern.Budget.Budget_exhausted _) as e) ->
+          raise e
+      | exception ((Out_of_memory | Stack_overflow) as e) ->
+          raise
+            (Guard.Error.Fatal
+               (Guard.Error.classify ~stage:Guard.Error.Match ~mv:mv_name e))
       | exception e ->
           h mv_name e;
           fallback)
@@ -190,7 +196,7 @@ let rw_candidates = Obs.Metrics.counter "rewrite.candidates"
 let rw_steps = Obs.Metrics.counter "rewrite.steps"
 let rw_route_ms = Obs.Metrics.histogram "rewrite.route_ms"
 
-let rewrite_candidates ?on_error ?trace cat g mvs =
+let rewrite_candidates ?on_error ?trace ?budget cat g mvs =
   List.concat_map
     (fun mv ->
       Obs.Trace.with_span trace ~kind:"candidate" ~label:mv.mv_name
@@ -202,10 +208,12 @@ let rewrite_candidates ?on_error ?trace cat g mvs =
         (fun () ->
           guarded on_error mv.mv_name [] (fun () ->
               let sites =
-                Navigator.find_matches ?trace cat ~query:g ~ast:mv.mv_graph
+                Navigator.find_matches ?trace ?budget cat ~query:g
+                  ~ast:mv.mv_graph
               in
               List.map
                 (fun { Navigator.site_box; site_result } ->
+                  Govern.Budget.tick_candidate budget;
                   let mv_cols =
                     B.output_cols (G.box mv.mv_graph (G.root mv.mv_graph))
                   in
@@ -228,34 +236,44 @@ let rewrite_candidates ?on_error ?trace cat g mvs =
                 sites)))
     mvs
 
-let best ~cat ?on_error ?trace g mvs =
+let best ~cat ?on_error ?trace ?budget g mvs =
   (* Iterative multi-AST routing (section 7): keep applying the cheapest
      strictly-improving rewrite. The same AST may serve several query
      blocks (e.g. two FROM subqueries); termination is guaranteed because
-     every accepted step strictly lowers the estimated cost. *)
+     every accepted step strictly lowers the estimated cost.
+
+     Budget exhaustion is caught at round granularity: the routing state
+     reached so far is already a correct (if possibly improvable) rewrite,
+     so the best-so-far graph is returned — graceful degradation, never an
+     error. The reason stays recorded on the budget for the planner. *)
   Obs.Metrics.time rw_route_ms (fun () ->
+      let round g =
+        let candidates = rewrite_candidates ?on_error ?trace ?budget cat g mvs in
+        Obs.Metrics.add rw_candidates (List.length candidates);
+        let current = Cost.graph_cost cat g in
+        let better =
+          List.filter_map
+            (fun (g', step) ->
+              guarded on_error step.used_mv None (fun () ->
+                  let c = Cost.graph_cost cat g' in
+                  if c < current then Some (c, g', step)
+                  else begin
+                    Obs.Trace.reject trace ~kind:"cost" ~label:step.used_mv
+                      (Obs.Trace.Cost_not_better (c, current));
+                    None
+                  end))
+            candidates
+        in
+        (current, List.sort (fun (a, _, _) (b, _, _) -> compare a b) better)
+      in
       let rec loop g steps fuel =
+        let finish () = if steps = [] then None else Some (g, List.rev steps) in
         if fuel = 0 then Some (g, List.rev steps)
         else
-          let candidates = rewrite_candidates ?on_error ?trace cat g mvs in
-          Obs.Metrics.add rw_candidates (List.length candidates);
-          let current = Cost.graph_cost cat g in
-          let better =
-            List.filter_map
-              (fun (g', step) ->
-                guarded on_error step.used_mv None (fun () ->
-                    let c = Cost.graph_cost cat g' in
-                    if c < current then Some (c, g', step)
-                    else begin
-                      Obs.Trace.reject trace ~kind:"cost" ~label:step.used_mv
-                        (Obs.Trace.Cost_not_better (c, current));
-                      None
-                    end))
-              candidates
-          in
-          match List.sort (fun (a, _, _) (b, _, _) -> compare a b) better with
-          | [] -> if steps = [] then None else Some (g, List.rev steps)
-          | (c, g', step) :: _ ->
+          match round g with
+          | exception Govern.Budget.Budget_exhausted _ -> finish ()
+          | _, [] -> finish ()
+          | current, (c, g', step) :: _ ->
               Obs.Metrics.incr rw_steps;
               Obs.Trace.accept trace ~kind:"route" ~label:step.used_mv
                 (Printf.sprintf "query box %d, cost %.0f -> %.0f" step.target

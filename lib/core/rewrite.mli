@@ -10,6 +10,9 @@
 type mv = {
   mv_name : string;          (** table name under which the AST is stored *)
   mv_graph : Qgm.Graph.t;    (** the AST's defining query *)
+  mv_version : int;          (** store epoch at definition/refresh; used to
+                                 key quarantine observations to one
+                                 incarnation of the table *)
 }
 
 type step = {
@@ -45,11 +48,18 @@ val apply :
 
     With [trace], the whole routing attempt is recorded as a span tree
     (candidate -> navigate -> match -> compensation -> cost), every
-    rejection carrying a typed {!Obs.Trace.reason}. *)
+    rejection carrying a typed {!Obs.Trace.reason}.
+
+    With [budget], match invocations and candidates are metered; when the
+    budget runs out mid-routing the best rewrite found so far is returned
+    (or [None] if none was reached) — the exhaustion reason stays recorded
+    on the budget ({!Govern.Budget.exhausted}) so the caller can mark the
+    decision degraded. [Budget_exhausted] never escapes [best]. *)
 val best :
   cat:Catalog.t ->
   ?on_error:(string -> exn -> unit) ->
   ?trace:Obs.Trace.t ->
+  ?budget:Govern.Budget.t ->
   Qgm.Graph.t ->
   mv list ->
   (Qgm.Graph.t * step list) option

@@ -112,12 +112,15 @@ let x_union_ms = Obs.Metrics.histogram "exec.union_ms"
 let x_runs = Obs.Metrics.counter "exec.runs"
 let x_run_ms = Obs.Metrics.histogram "exec.run_ms"
 
-let rec run_box_memo db g memo id =
+let rec run_box_memo ?budget db g memo id =
   match Hashtbl.find_opt memo id with
   | Some r ->
       Obs.Metrics.incr x_memo_hits;
       r
   | None ->
+      (* operator boundary: the cheapest place to notice a blown deadline
+         before starting (possibly expensive) work on this box *)
+      Govern.Budget.check_deadline budget;
       Obs.Metrics.incr x_boxes;
       let r =
         match (G.box g id).B.body with
@@ -126,16 +129,16 @@ let rec run_box_memo db g memo id =
                 R.project (Db.get_exn db bt_table) bt_cols)
         | B.Select { sel_quants = quants; sel_preds = preds; sel_outs = outs; sel_distinct = distinct } ->
             Obs.Metrics.time x_select_ms (fun () ->
-                exec_select db g memo quants preds outs distinct)
+                exec_select ?budget db g memo quants preds outs distinct)
         | B.Group { grp_quant = quant; grp_grouping = grouping; grp_aggs = aggs } ->
             Obs.Metrics.time x_group_ms (fun () ->
-                exec_group db g memo quant grouping aggs)
+                exec_group ?budget db g memo quant grouping aggs)
         | B.Union { un_quants; un_all; un_cols } ->
             Obs.Metrics.time x_union_ms (fun () ->
                 let rows =
                   List.concat_map
                     (fun q ->
-                      let rel = run_box_memo db g memo q.B.q_box in
+                      let rel = run_box_memo ?budget db g memo q.B.q_box in
                       if R.arity rel <> List.length un_cols then
                         err "UNION branch arity mismatch";
                       R.rows rel)
@@ -145,11 +148,12 @@ let rec run_box_memo db g memo id =
                 if un_all then rel else R.distinct rel)
       in
       Obs.Metrics.add x_rows (R.cardinality r);
+      Govern.Budget.tick_rows budget (R.cardinality r);
       Hashtbl.add memo id r;
       r
 
-and exec_select db g memo quants preds outs distinct =
-  let child_rel q = run_box_memo db g memo q.B.q_box in
+and exec_select ?budget db g memo quants preds outs distinct =
+  let child_rel q = run_box_memo ?budget db g memo q.B.q_box in
   (* initial layout: all scalar-subquery columns as constants *)
   let init_layout = ref [] and init_tuple = ref [] in
   List.iter
@@ -292,8 +296,8 @@ and exec_select db g memo quants preds outs distinct =
 (* Group box                                                           *)
 (* ------------------------------------------------------------------ *)
 
-and exec_group db g memo quant grouping aggs =
-  let child = run_box_memo db g memo quant.B.q_box in
+and exec_group ?budget db g memo quant grouping aggs =
+  let child = run_box_memo ?budget db g memo quant.B.q_box in
   let idx name = R.column_index child name in
   let union_cols = B.grouping_union grouping in
   let union_idx = List.map idx union_cols in
@@ -360,12 +364,12 @@ and exec_group db g memo quant grouping aggs =
 
 (* ------------------------------------------------------------------ *)
 
-let run_box db g id = run_box_memo db g (Hashtbl.create 16) id
+let run_box ?budget db g id = run_box_memo ?budget db g (Hashtbl.create 16) id
 
-let run db g =
+let run ?budget db g =
   Obs.Metrics.incr x_runs;
   Obs.Metrics.time x_run_ms @@ fun () ->
-  let rel = run_box db g (G.root g) in
+  let rel = run_box ?budget db g (G.root g) in
   let { G.order_by; limit } = G.presentation g in
   let rel =
     if order_by = [] then rel

@@ -9,8 +9,14 @@
 
 exception Exec_error of string
 
-(** Execute the graph's root box and apply its presentation. *)
-val run : Db.t -> Qgm.Graph.t -> Data.Relation.t
+(** Execute the graph's root box and apply its presentation. With
+    [budget], operator boundaries check the deadline and meter produced
+    rows against it, raising {!Govern.Budget.Budget_exhausted} — callers
+    that budget execution must be prepared to fall back (the session falls
+    back to the unbudgeted base plan). *)
+val run : ?budget:Govern.Budget.t -> Db.t -> Qgm.Graph.t -> Data.Relation.t
 
 (** Execute an arbitrary box of the graph (no presentation applied). *)
-val run_box : Db.t -> Qgm.Graph.t -> Qgm.Box.box_id -> Data.Relation.t
+val run_box :
+  ?budget:Govern.Budget.t -> Db.t -> Qgm.Graph.t -> Qgm.Box.box_id ->
+  Data.Relation.t

@@ -14,6 +14,7 @@ type stage =
   | Plan
   | Execute
   | Verify
+  | Refresh
 
 type kind =
   | Injected                 (* Fault.Injected: deterministic test fault *)
@@ -21,9 +22,12 @@ type kind =
   | Invalid of string        (* Invalid_argument *)
   | Div_zero                 (* Division_by_zero (e.g. constant folding) *)
   | Failed of string         (* Failure / failwith *)
+  | Resource of string       (* Stack_overflow / Out_of_memory *)
   | Unexpected of string     (* anything else, via Printexc *)
 
 type t = { err_stage : stage; err_kind : kind; err_mv : string option }
+
+exception Fatal of t
 
 let stage_name = function
   | Navigate -> "navigate"
@@ -33,6 +37,7 @@ let stage_name = function
   | Plan -> "plan"
   | Execute -> "execute"
   | Verify -> "verify"
+  | Refresh -> "refresh"
 
 let stage_of_point = function
   | Fault.Navigate -> Navigate
@@ -40,6 +45,8 @@ let stage_of_point = function
   | Fault.Compensate -> Compensate
   | Fault.Translate -> Translate
   | Fault.Corrupt -> Verify
+  | Fault.Refresh -> Refresh
+  | Fault.Delay -> Match
 
 let kind_name = function
   | Injected -> "injected fault"
@@ -47,6 +54,7 @@ let kind_name = function
   | Invalid m -> Printf.sprintf "invalid argument (%s)" m
   | Div_zero -> "division by zero"
   | Failed m -> Printf.sprintf "failure (%s)" m
+  | Resource m -> Printf.sprintf "resource exhaustion (%s)" m
   | Unexpected m -> Printf.sprintf "unexpected exception (%s)" m
 
 let classify ~stage ?mv exn =
@@ -57,6 +65,8 @@ let classify ~stage ?mv exn =
     | Invalid_argument m -> (stage, Invalid m)
     | Division_by_zero -> (stage, Div_zero)
     | Failure m -> (stage, Failed m)
+    | Stack_overflow -> (stage, Resource "stack overflow")
+    | Out_of_memory -> (stage, Resource "out of memory")
     | e -> (stage, Unexpected (Printexc.to_string e))
   in
   { err_stage = stage; err_kind = kind; err_mv = mv }
@@ -67,3 +77,8 @@ let to_string e =
     (kind_name e.err_kind)
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Fatal e -> Some (Printf.sprintf "Guard.Error.Fatal(%s)" (to_string e))
+    | _ -> None)

@@ -13,6 +13,7 @@ type stage =
   | Plan         (** planning outside any one candidate (fingerprint, cost, cache) *)
   | Execute      (** executing the rewritten plan *)
   | Verify       (** runtime result verification *)
+  | Refresh      (** summary-table maintenance (auto or manual refresh) *)
 
 type kind =
   | Injected              (** {!Fault.Injected}: deterministic test fault *)
@@ -20,6 +21,7 @@ type kind =
   | Invalid of string     (** [Invalid_argument] *)
   | Div_zero              (** [Division_by_zero] (e.g. constant folding) *)
   | Failed of string      (** [Failure] *)
+  | Resource of string    (** [Stack_overflow] / [Out_of_memory] *)
   | Unexpected of string  (** anything else, rendered via [Printexc] *)
 
 type t = {
@@ -27,6 +29,12 @@ type t = {
   err_kind : kind;
   err_mv : string option;  (** summary table being considered, when known *)
 }
+
+(** Raised (never returned) by {!Sandbox.protect} for asynchronous /
+    unrecoverable conditions ([Stack_overflow], [Out_of_memory]): the
+    classified context rides along so outer layers can report where the
+    resource ran out, but no fallback path treats it as containable. *)
+exception Fatal of t
 
 (** [classify ~stage ?mv exn] — the stage is overridden by the injection
     point when [exn] is {!Fault.Injected} (the fault knows exactly where it

@@ -8,7 +8,14 @@
    the pipeline code calls [hit] unconditionally, so an armed fault strikes
    at an exact, reproducible call count. Disarmed hits cost one array read. *)
 
-type point = Navigate | Match | Compensate | Translate | Corrupt
+type point =
+  | Navigate
+  | Match
+  | Compensate
+  | Translate
+  | Corrupt
+  | Refresh
+  | Delay
 
 exception Injected of point
 
@@ -18,8 +25,11 @@ let point_name = function
   | Compensate -> "compensate"
   | Translate -> "translate"
   | Corrupt -> "corrupt"
+  | Refresh -> "refresh"
+  | Delay -> "delay"
 
-let all_points = [ Navigate; Match; Compensate; Translate; Corrupt ]
+let all_points =
+  [ Navigate; Match; Compensate; Translate; Corrupt; Refresh; Delay ]
 
 let idx = function
   | Navigate -> 0
@@ -27,9 +37,11 @@ let idx = function
   | Compensate -> 2
   | Translate -> 3
   | Corrupt -> 4
+  | Refresh -> 5
+  | Delay -> 6
 
 (* remaining hits before the point fires; None = disarmed *)
-let countdown : int option array = Array.make 5 None
+let countdown : int option array = Array.make 7 None
 
 let arm p ~after =
   if after <= 0 then invalid_arg "Fault.arm: after must be positive";
@@ -50,6 +62,24 @@ let fire p =
       false
 
 let hit p = if fire p then raise (Injected p)
+
+(* [Delay] does not raise: when it fires it stalls the caller, making
+   wall-clock deadline paths deterministically reachable in tests. Unlike
+   the other points it stays armed after firing (every subsequent hit of
+   the site stalls too) so a single arming can push a whole planning pass
+   past its deadline. *)
+
+let delay_ms = ref 10.0
+
+let set_delay_ms ms =
+  if ms < 0. then invalid_arg "Fault.set_delay_ms: negative delay";
+  delay_ms := ms
+
+let maybe_delay () =
+  match countdown.(idx Delay) with
+  | None -> ()
+  | Some 1 -> Unix.sleepf (!delay_ms /. 1000.)
+  | Some n -> countdown.(idx Delay) <- Some (n - 1)
 
 (* ---------------- spec strings ---------------- *)
 

@@ -15,6 +15,8 @@ type point =
   | Compensate   (** {!Astmatch.Rewrite.apply} (compensation construction) *)
   | Translate    (** {!Astmatch.Translate.through_comp} *)
   | Corrupt      (** result corruption under verification (via {!fire}) *)
+  | Refresh      (** summary-table refresh (maintenance path) *)
+  | Delay        (** stall at the match site (via {!maybe_delay}) *)
 
 exception Injected of point
 
@@ -37,8 +39,19 @@ val fire : point -> bool
 val hit : point -> unit
 
 (** Parse and arm a spec like ["match:3,compensate"] (missing count = 1).
-    Point names: navigate, match, compensate, translate, corrupt. *)
+    Point names: navigate, match, compensate, translate, corrupt, refresh,
+    delay. *)
 val arm_spec : string -> (unit, string) result
+
+(** How long a fired [Delay] point stalls (default 10 ms). *)
+val set_delay_ms : float -> unit
+
+(** The [Delay] hook: from its [N]th call on ([arm Delay ~after:N]), every
+    call sleeps for the configured delay — [Delay] does not raise and,
+    unlike the one-shot points, stays armed once reached, so deadline
+    expiry is deterministically reachable however many match calls a plan
+    needs. Disarmed calls cost one array read. *)
+val maybe_delay : unit -> unit
 
 (** [ASTQL_FAULT_SEED] from the environment, when set and numeric (used by
     the randomized fault-injection tests and the CI matrix job). *)

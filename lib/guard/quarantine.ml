@@ -1,15 +1,30 @@
-(* Known-bad (query-fingerprint x summary-table) pairs.
+(* Known-bad (query-fingerprint x summary-table x definition-version)
+   triples.
 
-   Keyed like the plan cache's negative entries: the canonical query
-   fingerprint, stamped with the store epoch at insertion. A lookup under
-   any other epoch drops the entry — REFRESH/define/drop/DML all bump the
-   epoch, and any of them can fix the condition that made the candidate
-   fail, so quarantine never outlives the store state it was observed
-   under. Bounded by LRU eviction (same policy as Plancache.Cache). *)
+   Keyed like the plan cache's negative entries by the canonical query
+   fingerprint, but each quarantined summary table is stamped with the
+   *store epoch at which that table was (re)defined or refreshed* — its
+   definition version — rather than the global epoch at insertion. A
+   lookup presents the current versions of the live candidates:
+
+   - same version            -> still blocked (nothing about the table
+                                changed; the failure observation stands);
+   - different version       -> the table was refreshed, re-created or
+                                rebuilt since the failure: the entry is
+                                dropped and the candidate retried;
+   - absent from the lookup  -> the table is stale or dropped right now;
+                                the pair is retained but not reported.
+
+   This fixes two defects of global-epoch stamping: unrelated DML no
+   longer washes quarantine away (a bad compensation stays quarantined
+   under write traffic), and DROP + re-CREATE of the same name can no
+   longer resurrect a stale hit, because the re-created table carries a
+   new definition version. Bounded by LRU eviction over fingerprints
+   (same policy as Plancache.Cache). *)
 
 type entry = {
-  q_epoch : int;
-  mutable q_mvs : string list;  (* case-preserved summary-table names *)
+  (* case-preserved summary-table name x definition version *)
+  mutable q_mvs : (string * int) list;
   mutable q_last : int;
 }
 
@@ -42,32 +57,45 @@ let evict_lru t =
   in
   match victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
 
-let add t ~epoch ~fp ~mv =
+let add t ~version ~fp ~mv =
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.tbl fp with
-  | Some e when e.q_epoch = epoch ->
+  | Some e ->
       e.q_last <- t.tick;
-      if List.mem mv e.q_mvs then false
+      if List.mem (mv, version) e.q_mvs then false
       else begin
-        e.q_mvs <- mv :: e.q_mvs;
+        (* a pair for the same table under an older version is superseded *)
+        e.q_mvs <- (mv, version) :: List.remove_assoc mv e.q_mvs;
         true
       end
-  | stale ->
-      if stale = None && Hashtbl.length t.tbl >= t.cap then evict_lru t;
-      Hashtbl.replace t.tbl fp
-        { q_epoch = epoch; q_mvs = [ mv ]; q_last = t.tick };
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+      Hashtbl.replace t.tbl fp { q_mvs = [ (mv, version) ]; q_last = t.tick };
       true
 
-let blocked t ~epoch ~fp =
+let blocked t ~versions ~fp =
   match Hashtbl.find_opt t.tbl fp with
   | None -> []
-  | Some e when e.q_epoch <> epoch ->
-      (* the store moved on; the failure observation is void *)
-      Hashtbl.remove t.tbl fp;
-      []
   | Some e ->
       t.tick <- t.tick + 1;
       e.q_last <- t.tick;
-      e.q_mvs
+      let live, void =
+        List.partition
+          (fun (mv, v) ->
+            match List.assoc_opt mv versions with
+            | Some cur -> cur = v (* same definition: observation stands *)
+            | None -> true (* table absent right now: keep, don't report *))
+          e.q_mvs
+      in
+      if void <> [] then begin
+        e.q_mvs <- live;
+        if live = [] then Hashtbl.remove t.tbl fp
+      end;
+      List.filter_map
+        (fun (mv, v) ->
+          match List.assoc_opt mv versions with
+          | Some cur when cur = v -> Some mv
+          | _ -> None)
+        live
 
-let is_blocked t ~epoch ~fp ~mv = List.mem mv (blocked t ~epoch ~fp)
+let is_blocked t ~versions ~fp ~mv = List.mem mv (blocked t ~versions ~fp)

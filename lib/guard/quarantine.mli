@@ -1,14 +1,17 @@
-(** Known-bad (query-fingerprint x summary-table) pairs.
+(** Known-bad (query-fingerprint x summary-table x definition-version)
+    triples.
 
-    When a summary table's candidacy for a query failed (rewrite exception)
-    or mis-verified (runtime result mismatch), the pair is quarantined:
-    repeat plannings of the same query skip that candidate while still
-    trying the others. Entries are stamped with the store epoch at
-    insertion and expire the moment the epoch moves (REFRESH, define/drop,
-    DML, DDL — any of which can fix the underlying condition), and the
-    table is bounded by LRU eviction, so quarantine can suppress at most a
-    bounded amount of rewriting and never outlives the store state the
-    failure was observed under. *)
+    When a summary table's candidacy for a query failed (rewrite
+    exception) or mis-verified (runtime result mismatch), the pair is
+    quarantined: repeat plannings of the same query skip that candidate
+    while still trying the others. Each pair is stamped with the table's
+    {e definition version} — the store epoch at which it was last defined
+    or refreshed — and expires exactly when that version moves: REFRESH,
+    auto-refresh or DROP + re-CREATE void the observation, while
+    unrelated DML (which bumps only the global epoch) leaves it standing.
+    In particular, re-creating a same-named table can never resurrect a
+    quarantine hit recorded against its previous incarnation. The table
+    is bounded by LRU eviction over fingerprints. *)
 
 type t
 
@@ -16,15 +19,21 @@ type t
     fingerprints (default 256). *)
 val create : ?capacity:int -> unit -> t
 
-(** [add t ~epoch ~fp ~mv] quarantines [mv] for the query fingerprinted
-    [fp]. Returns [true] when the pair was not already present. *)
-val add : t -> epoch:int -> fp:string -> mv:string -> bool
+(** [add t ~version ~fp ~mv] quarantines [mv], at definition version
+    [version], for the query fingerprinted [fp]. Returns [true] when the
+    triple was not already present; a pair for the same table under an
+    older version is superseded. *)
+val add : t -> version:int -> fp:string -> mv:string -> bool
 
-(** Summary tables quarantined for this query under this epoch (stale
-    entries are dropped on lookup). *)
-val blocked : t -> epoch:int -> fp:string -> string list
+(** [blocked t ~versions ~fp] — the summary tables still quarantined for
+    this query, given the current definition versions of the live
+    candidates ([versions]). Pairs whose table moved to a new version are
+    dropped; pairs whose table is absent from [versions] (stale or
+    dropped) are retained but not reported. *)
+val blocked : t -> versions:(string * int) list -> fp:string -> string list
 
-val is_blocked : t -> epoch:int -> fp:string -> mv:string -> bool
+val is_blocked :
+  t -> versions:(string * int) list -> fp:string -> mv:string -> bool
 
 (** Quarantined fingerprints currently held. *)
 val length : t -> int

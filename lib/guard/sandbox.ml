@@ -1,11 +1,25 @@
 (* The containment boundary: run a pipeline fragment, converting any
-   exception — including Assert_failure, Invalid_argument, Stack_overflow
-   and injected faults — into a classified Error.t the caller can count,
-   quarantine on, and fall back from. Only genuinely asynchronous /
-   unrecoverable conditions pass through. *)
+   exception — including Assert_failure, Invalid_argument and injected
+   faults — into a classified Error.t the caller can count, quarantine on,
+   and fall back from.
+
+   Three families pass through instead of being contained:
+   - Sys.Break: user interrupt, nobody's to answer;
+   - Govern.Budget.Budget_exhausted: a cooperative signal, not a failure —
+     the budget's owner (Rewrite.best, Session.run_query, the maintenance
+     drain) catches it at its own degradation point;
+   - Stack_overflow / Out_of_memory: re-raised *typed*, as
+     Error.Fatal with the stage/mv context, so outer layers can say where
+     the resource ran out without any fallback path mistaking it for a
+     containable candidate failure. An already-typed Fatal from a nested
+     protect is re-raised unchanged. *)
 
 let protect ~stage ?mv f =
   match f () with
   | v -> Ok v
-  | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+  | exception ((Sys.Break | Error.Fatal _ | Govern.Budget.Budget_exhausted _)
+               as e) ->
+      raise e
+  | exception ((Out_of_memory | Stack_overflow) as e) ->
+      raise (Error.Fatal (Error.classify ~stage ?mv e))
   | exception e -> Error (Error.classify ~stage ?mv e)

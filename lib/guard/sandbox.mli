@@ -1,9 +1,14 @@
 (** The containment boundary around the rewrite pipeline.
 
-    [protect ~stage f] runs [f ()] and converts {e any} exception —
-    [Assert_failure], [Invalid_argument], [Division_by_zero],
-    [Stack_overflow], injected faults — into a classified {!Error.t}.
-    Only [Out_of_memory] and [Sys.Break] re-raise: those are asynchronous
-    conditions no fallback can answer. *)
+    [protect ~stage f] runs [f ()] and converts {e any} ordinary exception
+    — [Assert_failure], [Invalid_argument], [Division_by_zero], injected
+    faults — into a classified {!Error.t}.
+
+    Three families re-raise instead: [Sys.Break] (user interrupt) and
+    {!Govern.Budget.Budget_exhausted} (cooperative degradation signal,
+    caught by the budget's owner) pass through unchanged; [Stack_overflow]
+    and [Out_of_memory] re-raise as {!Error.Fatal} carrying the classified
+    stage/mv context — typed, but never treated as a containable candidate
+    failure. *)
 val protect :
   stage:Error.stage -> ?mv:string -> (unit -> 'a) -> ('a, Error.t) result

@@ -19,12 +19,15 @@ type t = {
   splanner : Plancache.Planner.t;
   mutable strace : bool;        (* record a span trace per planning attempt *)
   straces : Obs.Trace.ring;     (* recent traces (astql \trace show) *)
+  mutable slimits : Govern.Budget.limits;  (* per-statement default budget *)
+  mutable sauto_maint : bool;   (* drain the maintenance queue at boundaries *)
+  smaint : Maint.t;             (* deferred-maintenance queue *)
 }
 
 type outcome = Msg of string | Table of R.t | Plan of string
 
 let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
-    ?(verify_oracle = false) () =
+    ?(verify_oracle = false) ?budget ?(auto_maint = false) () =
   {
     sdb = Engine.Db.create Catalog.empty;
     sstore = Store.empty;
@@ -35,10 +38,16 @@ let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
     splanner = Plancache.Planner.create ?capacity:plan_capacity ();
     strace = false;
     straces = Obs.Trace.ring ();
+    slimits =
+      (match budget with
+      | Some l -> l
+      | None -> Govern.Budget.default_limits ());
+    sauto_maint = auto_maint;
+    smaint = Maint.create ();
   }
 
 let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
-    ?(verify_oracle = false) cat tables =
+    ?(verify_oracle = false) ?budget ?(auto_maint = false) cat tables =
   {
     sdb = Engine.Db.of_tables cat tables;
     sstore = Store.empty;
@@ -49,9 +58,20 @@ let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
     splanner = Plancache.Planner.create ?capacity:plan_capacity ();
     strace = false;
     straces = Obs.Trace.ring ();
+    slimits =
+      (match budget with
+      | Some l -> l
+      | None -> Govern.Budget.default_limits ());
+    sauto_maint = auto_maint;
+    smaint = Maint.create ();
   }
 
 let set_rewrite t b = t.srewrite <- b
+let limits t = t.slimits
+let set_limits t l = t.slimits <- l
+let auto_maint t = t.sauto_maint
+let set_auto_maint t b = t.sauto_maint <- b
+let maint t = t.smaint
 let set_trace t b = t.strace <- b
 let trace_enabled t = t.strace
 let traces t = Obs.Trace.items t.straces
@@ -74,12 +94,17 @@ let health t =
      rewrite errors:   %d\n\
      quarantined:      %d pair(s) added, %d held now\n\
      quarantine skips: %d\n\
-     verification:     %d run(s), %d mismatch(es)"
+     verification:     %d run(s), %d mismatch(es)\n\
+     budget:           %s (%d degraded plan(s))\n\
+     %s"
     st.Plancache.Stats.fallbacks st.Plancache.Stats.rw_errors
     st.Plancache.Stats.quarantined
     (Plancache.Planner.quarantine_length t.splanner)
     st.Plancache.Stats.quarantine_skips st.Plancache.Stats.verify_runs
     st.Plancache.Stats.verify_mismatches
+    (Govern.Budget.describe t.slimits)
+    st.Plancache.Stats.degraded
+    (Maint.describe t.smaint)
 
 (* ---------------- DDL ---------------- *)
 
@@ -184,8 +209,11 @@ let do_insert t table cols_opt rows =
   in
   let new_rows = List.map mkrow rows in
   (* incremental maintenance first (needs the delta in isolation) *)
-  let store', db' = Store.apply_insert t.sstore t.sdb ~table ~rows:new_rows in
+  let store', db', went_stale =
+    Store.apply_insert t.sstore t.sdb ~table ~rows:new_rows
+  in
   t.sstore <- store';
+  List.iter (Maint.enqueue t.smaint) went_stale;
   let current =
     match Engine.Db.get db' table with
     | Some r -> r
@@ -217,10 +245,11 @@ let do_delete t table where =
   in
   let doomed = Engine.Exec.run t.sdb g in
   (* maintain summaries with the delta before mutating the table *)
-  let store', db' =
+  let store', db', went_stale =
     Store.apply_delete t.sstore t.sdb ~table ~rows:(R.rows doomed)
   in
   t.sstore <- store';
+  List.iter (Maint.enqueue t.smaint) went_stale;
   t.sdb <- Engine.Db.put db' table (R.bag_diff current doomed);
   Msg
     (Printf.sprintf "%d row(s) deleted from %s" (R.cardinality doomed) table)
@@ -250,8 +279,9 @@ let do_copy_from t table path header =
         tbl.Catalog.tbl_cols;
       ignore row)
     rows;
-  let store', db' = Store.apply_insert t.sstore t.sdb ~table ~rows in
+  let store', db', went_stale = Store.apply_insert t.sstore t.sdb ~table ~rows in
   t.sstore <- store';
+  List.iter (Maint.enqueue t.smaint) went_stale;
   let current =
     match Engine.Db.get db' table with
     | Some r -> r
@@ -279,17 +309,78 @@ let build_query t q =
 
 (* The single planning entry point: run_query, EXPLAIN REWRITE and EXPLAIN
    all route through here, so what EXPLAIN reports is exactly what
-   execution does — including cache behaviour. *)
-let plan_query t g =
+   execution does — including cache behaviour and budget degradation. *)
+let plan_query ?budget t g =
   let trace = if t.strace then Some (Obs.Trace.create ()) else None in
   let r =
-    Plancache.Planner.plan ?trace t.splanner ~cat:(Engine.Db.catalog t.sdb)
-      ~epoch:(Store.epoch t.sstore) ~mvs:(Store.rewritable t.sstore) g
+    Plancache.Planner.plan ?trace ?budget t.splanner
+      ~cat:(Engine.Db.catalog t.sdb) ~epoch:(Store.epoch t.sstore)
+      ~mvs:(Store.rewritable t.sstore) g
   in
   (match trace with
   | Some tr -> Obs.Trace.push t.straces (Qgm.Unparse.to_sql g) tr
   | None -> ());
   r
+
+(* Admission control: a statement gets a budget only when its limits say
+   so — the unlimited case stays on the zero-cost [None] path. *)
+let budget_of_limits l =
+  if Govern.Budget.is_unlimited l then None else Some (Govern.Budget.start l)
+
+(* ---------------- deferred maintenance ---------------- *)
+
+let m_auto_refreshes = Obs.Metrics.counter "govern.maint.auto_refreshes"
+let m_refresh_failures = Obs.Metrics.counter "govern.maint.refresh_failures"
+let m_maint_quarantined = Obs.Metrics.counter "govern.maint.quarantined"
+let m_maint_deferred = Obs.Metrics.counter "govern.maint.deferred"
+let m_exec_degraded = Obs.Metrics.counter "govern.exec_degraded"
+
+(* Drain the maintenance queue at a statement boundary: refresh every due
+   stale summary table under the session's maintenance budget. Failures are
+   classified and backed off (quarantine after max retries); a refresh cut
+   short by the budget is deferred to the next boundary without penalty. *)
+let drain_maintenance t =
+  if t.sauto_maint then begin
+    Maint.tick t.smaint;
+    match Maint.due t.smaint with
+    | [] -> ()
+    | due ->
+        let budget = budget_of_limits t.slimits in
+        List.iter
+          (fun name ->
+            match Store.find t.sstore name with
+            | None -> Maint.remove t.smaint name (* dropped meanwhile *)
+            | Some e when e.Store.e_fresh ->
+                Maint.remove t.smaint name (* refreshed manually meanwhile *)
+            | Some _ -> (
+                match
+                  Guard.Sandbox.protect ~stage:Guard.Error.Refresh ~mv:name
+                    (fun () -> Store.refresh_full ?budget t.sstore t.sdb name)
+                with
+                | exception Govern.Budget.Budget_exhausted _ ->
+                    Obs.Metrics.incr m_maint_deferred;
+                    Maint.defer t.smaint name
+                | Ok (store', db') ->
+                    t.sstore <- store';
+                    t.sdb <- db';
+                    Obs.Metrics.incr m_auto_refreshes;
+                    Maint.record_success t.smaint name
+                | Error err ->
+                    Obs.Metrics.incr m_refresh_failures;
+                    Printf.eprintf
+                      "astrw maint: auto-refresh of %s failed (%s)\n%!" name
+                      (Guard.Error.to_string err);
+                    Maint.record_failure t.smaint name err;
+                    if Maint.is_quarantined t.smaint name then begin
+                      Obs.Metrics.incr m_maint_quarantined;
+                      Printf.eprintf
+                        "astrw maint: %s quarantined after repeated refresh \
+                         failures; REFRESH or DROP it manually\n\
+                         %!"
+                        name
+                    end))
+          due
+  end
 
 (* Deterministic sampling: verify whenever the accumulated rate crosses an
    integer boundary, so [Sampled 0.25] verifies exactly every 4th rewritten
@@ -331,21 +422,32 @@ let corrupt_relation rel =
    raises, exactly as a rewrite:false session would. *)
 let run_query_unrewritten t g = (Engine.Exec.run t.sdb g, [])
 
-let run_query_routed t g =
-  let r = plan_query t g in
+let run_query_routed ?budget t g =
+  let r = plan_query ?budget t g in
   match r.Plancache.Planner.pr_steps with
   | [] -> run_query_unrewritten t g
   | steps -> (
       let st = Plancache.Planner.stats t.splanner in
       let quarantine_used () =
-        Plancache.Planner.quarantine t.splanner
-          ~epoch:(Store.epoch t.sstore) ~fp:r.pr_fingerprint
-          (List.map (fun (s : Astmatch.Rewrite.step) -> s.used_mv) steps)
+        Plancache.Planner.quarantine t.splanner ~fp:r.pr_fingerprint
+          (List.filter_map
+             (fun (s : Astmatch.Rewrite.step) ->
+               Option.map
+                 (fun (e : Store.entry) -> (s.used_mv, e.Store.e_version))
+                 (Store.find t.sstore s.used_mv))
+             steps)
       in
       match
         Guard.Sandbox.protect ~stage:Guard.Error.Execute (fun () ->
-            Engine.Exec.run t.sdb r.pr_graph)
+            Engine.Exec.run ?budget t.sdb r.pr_graph)
       with
+      | exception Govern.Budget.Budget_exhausted _ ->
+          (* the rewritten plan ran out of road mid-execution: containment
+             path, minus the quarantine — the plan is fine, the budget was
+             not. The base plan runs unbudgeted: correctness first. *)
+          Obs.Metrics.incr m_exec_degraded;
+          st.Plancache.Stats.fallbacks <- st.Plancache.Stats.fallbacks + 1;
+          run_query_unrewritten t g
       | Error e ->
           Printf.eprintf "astrw guard: %s; serving the base plan\n%!"
             (Guard.Error.to_string e);
@@ -385,10 +487,13 @@ let run_query_routed t g =
             end
           end)
 
-let run_query t q =
+let run_query ?limits t q =
+  drain_maintenance t;
+  let limits = Option.value ~default:t.slimits limits in
   try
     let g = build_query t q in
-    if not t.srewrite then run_query_unrewritten t g else run_query_routed t g
+    if not t.srewrite then run_query_unrewritten t g
+    else run_query_routed ?budget:(budget_of_limits limits) t g
   with Division_by_zero -> err "division by zero in SELECT"
 
 let explain ?(verbose = false) t q =
@@ -397,13 +502,23 @@ let explain ?(verbose = false) t q =
   let buf = Buffer.create 256 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "original cost estimate: %.0f\n" (Astmatch.Cost.graph_cost cat g);
-  let r = plan_query t g in
+  (* plan under the session's limits, so what EXPLAIN reports — including
+     budget degradation — is what an execution right now would do *)
+  let r = plan_query ?budget:(budget_of_limits t.slimits) t g in
   let fresh = Store.rewritable t.sstore in
   addf "cache: %s\n" (if r.Plancache.Planner.pr_hit then "hit" else "miss");
   addf "candidates: %d attempted, %d filtered (of %d fresh)\n" r.pr_attempted
     r.pr_filtered (List.length fresh);
   if r.pr_quarantined > 0 then
     addf "quarantine: %d candidate(s) held\n" r.pr_quarantined;
+  (match r.pr_degraded with
+  | Some reason ->
+      addf "degraded: %s (plan is best-so-far, not cached)\n"
+        (Govern.Budget.reason_name reason)
+  | None -> ());
+  (match Maint.depth t.smaint with
+  | 0 -> ()
+  | n -> addf "maintenance: queued(%d)\n" n);
   List.iter
     (fun e -> addf "guard: contained %s\n" (Guard.Error.to_string e))
     r.pr_errors;
@@ -518,6 +633,7 @@ let exec_stmt_dispatch t stmt =
         let store', db' = Store.drop t.sstore t.sdb name in
         t.sstore <- store';
         t.sdb <- db';
+        Maint.remove t.smaint name;
         Msg (Printf.sprintf "summary table %s dropped" name)
       with Store.Mv_error m -> err "%s" m)
   | A.Refresh_summary name -> (
@@ -525,6 +641,8 @@ let exec_stmt_dispatch t stmt =
         let store', db' = Store.refresh_full t.sstore t.sdb name in
         t.sstore <- store';
         t.sdb <- db';
+        (* a manual refresh clears any pending or quarantined auto-task *)
+        Maint.remove t.smaint name;
         Msg (Printf.sprintf "summary table %s refreshed" name)
       with Store.Mv_error m -> err "%s" m)
   | A.Select q ->
@@ -545,6 +663,7 @@ let exec_stmt_dispatch t stmt =
    expressions (constant folding, INSERT values, predicates, outputs);
    surface it as a proper session error with statement context. *)
 let exec_stmt t stmt =
+  drain_maintenance t;
   try exec_stmt_dispatch t stmt
   with Division_by_zero -> err "division by zero in %s" (stmt_label stmt)
 

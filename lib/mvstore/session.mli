@@ -24,12 +24,21 @@ type verify = Off | Sampled of float | Always
     the LRU plan cache (default 256 entries); [?verify] (default [Off])
     enables runtime result verification; [?verify_oracle] (default false)
     checks against the naive {!Engine.Reference} evaluator instead of the
-    optimized executor (slow — differential tests only). *)
+    optimized executor (slow — differential tests only); [?budget] sets
+    the per-statement resource limits (default
+    {!Govern.Budget.default_limits}, i.e. unlimited unless the
+    [ASTQL_DEADLINE_MS]/[ASTQL_MATCH_BUDGET] environment knobs say
+    otherwise); [?auto_maint] (default false) drains the deferred
+    maintenance queue at statement boundaries, auto-refreshing summary
+    tables that DML left stale (with backoff and quarantine on repeated
+    failure). *)
 val create :
   ?rewrite:bool ->
   ?plan_capacity:int ->
   ?verify:verify ->
   ?verify_oracle:bool ->
+  ?budget:Govern.Budget.limits ->
+  ?auto_maint:bool ->
   unit ->
   t
 
@@ -39,12 +48,32 @@ val of_tables :
   ?plan_capacity:int ->
   ?verify:verify ->
   ?verify_oracle:bool ->
+  ?budget:Govern.Budget.limits ->
+  ?auto_maint:bool ->
   Catalog.t ->
   (string * Data.Relation.t) list ->
   t
 
 val set_rewrite : t -> bool -> unit
 val set_verify : t -> verify -> unit
+
+(** The session's default per-statement resource limits (admission
+    control). [set_limits] takes effect from the next statement; it never
+    interrupts one in flight. *)
+val limits : t -> Govern.Budget.limits
+
+val set_limits : t -> Govern.Budget.limits -> unit
+
+(** Deferred-maintenance drain on/off (see [?auto_maint] above). Stale
+    tables are {e always} enqueued; this only controls whether the queue
+    drains automatically. *)
+val auto_maint : t -> bool
+
+val set_auto_maint : t -> bool -> unit
+
+(** The session's deferred-maintenance queue (inspection; the astql
+    [\health] command renders it). *)
+val maint : t -> Maint.t
 
 (** When enabled, every planning attempt records a structured span trace
     ({!Obs.Trace}) kept in a bounded per-session ring (the astql [\trace]
@@ -85,9 +114,18 @@ val exec_sql : t -> string -> outcome list
     when the original plan ran — including when a contained rewrite failure
     or verification mismatch fell back to it). Never raises because of the
     rewrite pipeline: the only exceptions are those the base plan itself
-    produces, exactly as a [~rewrite:false] session would. *)
+    produces, exactly as a [~rewrite:false] session would.
+
+    [?limits] overrides the session's default budget for this statement
+    only. A budget exhausted during planning degrades to the best-so-far
+    (possibly base) plan; exhausted during rewritten execution, the base
+    plan is re-run unbudgeted — resource pressure can cost performance,
+    never correctness. *)
 val run_query :
-  t -> Sqlsyn.Ast.query -> Data.Relation.t * Astmatch.Rewrite.step list
+  ?limits:Govern.Budget.limits ->
+  t ->
+  Sqlsyn.Ast.query ->
+  Data.Relation.t * Astmatch.Rewrite.step list
 
 (** Render an EXPLAIN REWRITE report for a query. With [~verbose:true]
     (EXPLAIN REWRITE VERBOSE) unmatched candidates print their full match

@@ -26,6 +26,7 @@ type entry = {
   e_tables : string list;
   e_fresh : bool;
   e_incr : incr_plan option;
+  e_version : int;
 }
 
 module Smap = Map.Make (String)
@@ -41,6 +42,11 @@ let entries t = List.map snd (Smap.bindings t.s_map)
 let find t name = Smap.find_opt (norm name) t.s_map
 let epoch t = t.s_epoch
 let touch t = { t with s_epoch = t.s_epoch + 1 }
+
+let stale t =
+  List.filter_map
+    (fun e -> if e.e_fresh then None else Some e.e_name)
+    (entries t)
 let base_tables g = Plancache.Candidates.footprint g
 
 (* Detect the insert-incremental shape: a single SELECT / GROUP BY / SELECT
@@ -210,6 +216,9 @@ let define store db ~name ~sql =
       e_tables = base_tables graph;
       e_fresh = true;
       e_incr = incr_plan_of (Engine.Db.catalog db) graph;
+      (* the definition version is the epoch this incarnation first exists
+         under; a re-CREATE after DROP necessarily gets a fresh one *)
+      e_version = store.s_epoch + 1;
     }
   in
   (touch { store with s_map = Smap.add (norm name) entry store.s_map }, db)
@@ -225,16 +234,20 @@ let drop store db name =
       in
       (touch { store with s_map = Smap.remove (norm name) store.s_map }, db)
 
-let refresh_full store db name =
+let refresh_full ?budget store db name =
   match find store name with
   | None -> err "unknown summary table %s" name
   | Some e ->
-      let contents = Engine.Exec.run db e.e_graph in
+      Guard.Fault.hit Guard.Fault.Refresh;
+      let contents = Engine.Exec.run ?budget db e.e_graph in
       let db = Engine.Db.put db e.e_name contents in
       ( touch
           {
             store with
-            s_map = Smap.add (norm name) { e with e_fresh = true } store.s_map;
+            s_map =
+              Smap.add (norm name)
+                { e with e_fresh = true; e_version = store.s_epoch + 1 }
+                store.s_map;
           },
         db )
 
@@ -308,6 +321,7 @@ let merge_delta ?(sign = 1) plan current delta =
 
 let apply_insert store db ~table ~rows =
   let table = norm table in
+  let went_stale = ref [] in
   let smap, db =
     Smap.fold
       (fun key e (smap, db) ->
@@ -327,10 +341,12 @@ let apply_insert store db ~table ~rows =
               let current = Engine.Db.get_exn db e.e_name in
               let merged = merge_delta plan current delta in
               (smap, Engine.Db.put db e.e_name merged)
-          | _ -> (Smap.add key { e with e_fresh = false } smap, db))
+          | _ ->
+              if e.e_fresh then went_stale := e.e_name :: !went_stale;
+              (Smap.add key { e with e_fresh = false } smap, db))
       store.s_map (store.s_map, db)
   in
-  (touch { store with s_map = smap }, db)
+  (touch { store with s_map = smap }, db, List.rev !went_stale)
 
 let deletable plan =
   plan.ip_count <> None
@@ -339,6 +355,7 @@ let deletable plan =
 
 let apply_delete store db ~table ~rows =
   let table = norm table in
+  let went_stale = ref [] in
   let smap, db =
     Smap.fold
       (fun key e (smap, db) ->
@@ -356,15 +373,22 @@ let apply_delete store db ~table ~rows =
               let current = Engine.Db.get_exn db e.e_name in
               let merged = merge_delta ~sign:(-1) plan current delta in
               (smap, Engine.Db.put db e.e_name merged)
-          | _ -> (Smap.add key { e with e_fresh = false } smap, db))
+          | _ ->
+              if e.e_fresh then went_stale := e.e_name :: !went_stale;
+              (Smap.add key { e with e_fresh = false } smap, db))
       store.s_map (store.s_map, db)
   in
-  (touch { store with s_map = smap }, db)
+  (touch { store with s_map = smap }, db, List.rev !went_stale)
 
 let rewritable store =
   List.filter_map
     (fun e ->
       if e.e_fresh then
-        Some { Astmatch.Rewrite.mv_name = e.e_name; mv_graph = e.e_graph }
+        Some
+          {
+            Astmatch.Rewrite.mv_name = e.e_name;
+            mv_graph = e.e_graph;
+            mv_version = e.e_version;
+          }
       else None)
     (entries store)

@@ -28,6 +28,10 @@ type entry = {
   e_tables : string list;        (** base tables the definition reads *)
   e_fresh : bool;
   e_incr : incr_plan option;     (** [None]: full refresh only *)
+  e_version : int;
+      (** definition version: the store epoch this incarnation of the
+          table was last (re)defined or refreshed under — the quarantine
+          key, stable across unrelated DML *)
 }
 
 type t
@@ -47,6 +51,10 @@ val epoch : t -> int
     the store does not itself observe, e.g. CREATE TABLE). *)
 val touch : t -> t
 
+(** Names of entries currently stale (excluded from rewriting until
+    refreshed; the maintenance queue's work list). *)
+val stale : t -> string list
+
 exception Mv_error of string
 
 (** [define store db ~name ~sql] parses and elaborates the defining query,
@@ -56,22 +64,32 @@ val define : t -> Engine.Db.t -> name:string -> sql:string -> t * Engine.Db.t
 
 val drop : t -> Engine.Db.t -> string -> t * Engine.Db.t
 
-(** Recompute a summary table from scratch and mark it fresh. *)
-val refresh_full : t -> Engine.Db.t -> string -> t * Engine.Db.t
+(** Recompute a summary table from scratch, mark it fresh and move its
+    definition version (voiding quarantine observations against the old
+    contents). Hits the [Refresh] fault-injection point. With [budget],
+    the recomputation is metered ({!Engine.Exec.run}) and may raise
+    [Budget_exhausted] — the caller (the maintenance drain) defers the
+    refresh rather than failing it. *)
+val refresh_full :
+  ?budget:Govern.Budget.t -> t -> Engine.Db.t -> string -> t * Engine.Db.t
 
 (** [apply_insert store db ~table ~rows] must be called *before* the rows
     are added to [table]: summary tables with an incremental plan absorb the
-    delta; others over [table] become stale. *)
+    delta; others over [table] become stale. The third component names the
+    entries that {e newly} went stale (the maintenance queue's input). *)
 val apply_insert :
-  t -> Engine.Db.t -> table:string -> rows:Data.Relation.row list -> t * Engine.Db.t
+  t -> Engine.Db.t -> table:string -> rows:Data.Relation.row list ->
+  t * Engine.Db.t * string list
 
 (** [apply_delete store db ~table ~rows] must be called with the deleted
     rows *before* they are removed from [table]. Summary tables whose plan
     has only subtractable aggregates (COUNT/SUM) and a COUNT-star column
     absorb the delta (groups whose count reaches zero disappear); MIN/MAX
-    summaries and non-incremental ones become stale. *)
+    summaries and non-incremental ones become stale. The third component
+    names the entries that {e newly} went stale. *)
 val apply_delete :
-  t -> Engine.Db.t -> table:string -> rows:Data.Relation.row list -> t * Engine.Db.t
+  t -> Engine.Db.t -> table:string -> rows:Data.Relation.row list ->
+  t * Engine.Db.t * string list
 
 (** Fresh summary tables, packaged for the rewriter. *)
 val rewritable : t -> Astmatch.Rewrite.mv list

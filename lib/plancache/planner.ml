@@ -26,6 +26,7 @@ type report = {
   pr_filtered : int;
   pr_quarantined : int;
   pr_errors : Guard.Error.t list;
+  pr_degraded : Govern.Budget.reason option;
 }
 
 let create ?(capacity = 256) ?quarantine_capacity () =
@@ -41,14 +42,17 @@ let stats t = t.p_stats
 let cache_length t = Cache.length t.p_cache
 let quarantine_length t = Guard.Quarantine.entries t.p_quarantine
 
-let quarantine t ~epoch ~fp mvs =
+let quarantine t ~fp mvs =
   List.iter
-    (fun mv ->
-      if Guard.Quarantine.add t.p_quarantine ~epoch ~fp ~mv then
+    (fun (mv, version) ->
+      if Guard.Quarantine.add t.p_quarantine ~version ~fp ~mv then
         t.p_stats.Stats.quarantined <- t.p_stats.Stats.quarantined + 1)
     mvs;
   (* the cached decision (if any) embeds the now-discredited candidate *)
   Cache.remove t.p_cache fp
+
+let versions_of (mvs : Astmatch.Rewrite.mv list) =
+  List.map (fun (mv : Astmatch.Rewrite.mv) -> (mv.mv_name, mv.mv_version)) mvs
 
 let index t ~epoch mvs =
   if t.p_index_epoch <> epoch then begin
@@ -74,6 +78,7 @@ let report_of g fp ~hit ~errors (e : entry) =
     pr_filtered = e.en_filtered;
     pr_quarantined = e.en_quarantined;
     pr_errors = errors;
+    pr_degraded = None;
   }
 
 let m_requests = Obs.Metrics.counter "plan.requests"
@@ -84,8 +89,9 @@ let m_filtered = Obs.Metrics.counter "plan.filtered"
 let m_quarantine_skips = Obs.Metrics.counter "plan.quarantine_skips"
 let m_errors = Obs.Metrics.counter "plan.contained_errors"
 let m_plan_ms = Obs.Metrics.histogram "plan.ms"
+let m_degraded = Obs.Metrics.counter "govern.degraded_plans"
 
-let plan_raw ?trace t ~cat ~epoch ~mvs g =
+let plan_raw ?trace ?budget t ~cat ~epoch ~mvs g =
   let st = t.p_stats in
   let fp = Qgm.Fingerprint.of_graph g in
   match Cache.find t.p_cache ~epoch fp with
@@ -98,8 +104,9 @@ let plan_raw ?trace t ~cat ~epoch ~mvs g =
       if l = Cache.Stale then st.Stats.invalidated <- st.Stats.invalidated + 1;
       st.Stats.misses <- st.Stats.misses + 1;
       Obs.Metrics.incr m_misses;
+      let versions = versions_of mvs in
       let kept, skipped = classify t ~cat ~epoch ~mvs g in
-      let held_names = Guard.Quarantine.blocked t.p_quarantine ~epoch ~fp in
+      let held_names = Guard.Quarantine.blocked t.p_quarantine ~versions ~fp in
       let kept, held =
         List.partition
           (fun (mv : Astmatch.Rewrite.mv) ->
@@ -132,11 +139,14 @@ let plan_raw ?trace t ~cat ~epoch ~mvs g =
         Obs.Metrics.incr m_errors;
         Obs.Trace.reject trace ~kind:"candidate" ~label:mv_name
           (Obs.Trace.Contained_error (Guard.Error.to_string err));
-        if Guard.Quarantine.add t.p_quarantine ~epoch ~fp ~mv:mv_name then
-          st.Stats.quarantined <- st.Stats.quarantined + 1
+        match List.assoc_opt mv_name versions with
+        | Some version ->
+            if Guard.Quarantine.add t.p_quarantine ~version ~fp ~mv:mv_name
+            then st.Stats.quarantined <- st.Stats.quarantined + 1
+        | None -> ()
       in
       let decision =
-        match Astmatch.Rewrite.best ~cat ~on_error ?trace g kept with
+        match Astmatch.Rewrite.best ~cat ~on_error ?trace ?budget g kept with
         | None -> No_rewrite
         | Some (g', steps) ->
             Obs.Metrics.incr m_rewrites;
@@ -154,11 +164,39 @@ let plan_raw ?trace t ~cat ~epoch ~mvs g =
           en_quarantined = List.length held;
         }
       in
-      st.Stats.evicted <- st.Stats.evicted + Cache.put t.p_cache ~epoch fp e;
-      st.Stats.inserted <- st.Stats.inserted + 1;
-      report_of g fp ~hit:false ~errors:(List.rev !errors) e
+      let degraded = Option.bind budget Govern.Budget.exhausted in
+      (* a budget-truncated decision is best-so-far, not the planner's
+         answer for this query: serving it again from the cache would make
+         a transient resource shortage permanent, so it is never stored *)
+      if degraded = None then begin
+        st.Stats.evicted <- st.Stats.evicted + Cache.put t.p_cache ~epoch fp e;
+        st.Stats.inserted <- st.Stats.inserted + 1
+      end
+      else begin
+        st.Stats.degraded <- st.Stats.degraded + 1;
+        Obs.Metrics.incr m_degraded;
+        Obs.Trace.event trace ~kind:"budget"
+          ~label:
+            (Printf.sprintf "degraded: %s"
+               (Govern.Budget.reason_name (Option.get degraded)))
+      end;
+      { (report_of g fp ~hit:false ~errors:(List.rev !errors) e) with
+        pr_degraded = degraded }
 
-let plan ?trace t ~cat ~epoch ~mvs g =
+let base_report g ~errors ~degraded =
+  {
+    pr_graph = g;
+    pr_steps = [];
+    pr_hit = false;
+    pr_fingerprint = "";
+    pr_attempted = 0;
+    pr_filtered = 0;
+    pr_quarantined = 0;
+    pr_errors = errors;
+    pr_degraded = degraded;
+  }
+
+let plan ?trace ?budget t ~cat ~epoch ~mvs g =
   (* the outer sandbox: even a failure outside any one candidate
      (fingerprinting, the candidate index, base-graph costing, the cache
      itself) degrades to the unrewritten plan, never to an exception *)
@@ -177,20 +215,19 @@ let plan ?trace t ~cat ~epoch ~mvs g =
                             (List.map
                                (fun (s : Astmatch.Rewrite.step) -> s.used_mv)
                                steps))))
-              (fun () -> plan_raw ?trace t ~cat ~epoch ~mvs g)))
+              (fun () -> plan_raw ?trace ?budget t ~cat ~epoch ~mvs g)))
   with
   | Ok r -> r
   | Error err ->
       let st = t.p_stats in
       st.Stats.rw_errors <- st.Stats.rw_errors + 1;
       st.Stats.fallbacks <- st.Stats.fallbacks + 1;
-      {
-        pr_graph = g;
-        pr_steps = [];
-        pr_hit = false;
-        pr_fingerprint = "";
-        pr_attempted = 0;
-        pr_filtered = 0;
-        pr_quarantined = 0;
-        pr_errors = [ err ];
-      }
+      base_report g ~errors:[ err ] ~degraded:None
+  | exception Govern.Budget.Budget_exhausted reason ->
+      (* belt and braces: Rewrite.best already absorbs exhaustion, so this
+         only triggers if a budget check fires outside the routing loop —
+         still a graceful base-plan degradation, never an error *)
+      let st = t.p_stats in
+      st.Stats.degraded <- st.Stats.degraded + 1;
+      Obs.Metrics.incr m_degraded;
+      base_report g ~errors:[] ~degraded:(Some reason)

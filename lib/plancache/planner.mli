@@ -30,6 +30,10 @@ type report = {
   pr_quarantined : int;    (** candidates skipped by the quarantine *)
   pr_errors : Guard.Error.t list;
       (** failures contained during {e this} planning ([] on a hit) *)
+  pr_degraded : Govern.Budget.reason option;
+      (** when set, the resource budget ran out mid-planning: the decision
+          is best-so-far (possibly the base plan), was {e not} cached, and
+          a re-plan under an adequate budget will try again *)
 }
 (** On a cache hit, [pr_attempted]/[pr_filtered]/[pr_quarantined] report
     the counts from the planning that produced the entry (nothing was
@@ -48,9 +52,14 @@ val create : ?capacity:int -> ?quarantine_capacity:int -> unit -> t
     With [trace], the attempt is recorded as a [plan] span whose children
     are the per-candidate verdicts: index-filtered and quarantined
     candidates appear as typed rejections, and the ones handed to the
-    matcher carry the full navigate/match/cost sub-tree. *)
+    matcher carry the full navigate/match/cost sub-tree.
+
+    With [budget], matching/routing is metered; if the budget runs out the
+    best-so-far decision is served with [pr_degraded] set and is {e not}
+    cached. [Budget_exhausted] never escapes [plan]. *)
 val plan :
   ?trace:Obs.Trace.t ->
+  ?budget:Govern.Budget.t ->
   t ->
   cat:Catalog.t ->
   epoch:int ->
@@ -68,11 +77,14 @@ val classify :
   Qgm.Graph.t ->
   Astmatch.Rewrite.mv list * Astmatch.Rewrite.mv list
 
-(** [quarantine t ~epoch ~fp mvs] quarantines each summary table in [mvs]
-    for the query fingerprinted [fp] (used by the session when a rewritten
-    plan failed at execution or mis-verified), counts the newly added pairs
-    in the stats, and drops the now-discredited cache entry for [fp]. *)
-val quarantine : t -> epoch:int -> fp:string -> string list -> unit
+(** [quarantine t ~fp mvs] quarantines each [(summary table, definition
+    version)] pair in [mvs] for the query fingerprinted [fp] (used by the
+    session when a rewritten plan failed at execution or mis-verified),
+    counts the newly added pairs in the stats, and drops the
+    now-discredited cache entry for [fp]. Entries expire when the table's
+    definition version moves (REFRESH / re-CREATE), not on unrelated
+    epoch churn. *)
+val quarantine : t -> fp:string -> (string * int) list -> unit
 
 (** Live counters (mutated by subsequent planning; {!Stats.copy} to
     snapshot). *)

@@ -12,6 +12,7 @@ type t = {
   mutable quarantine_skips : int;
   mutable verify_runs : int;
   mutable verify_mismatches : int;
+  mutable degraded : int;
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     quarantine_skips = 0;
     verify_runs = 0;
     verify_mismatches = 0;
+    degraded = 0;
   }
 
 let reset t =
@@ -44,7 +46,8 @@ let reset t =
   t.quarantined <- 0;
   t.quarantine_skips <- 0;
   t.verify_runs <- 0;
-  t.verify_mismatches <- 0
+  t.verify_mismatches <- 0;
+  t.degraded <- 0
 
 let copy t = { t with hits = t.hits }
 
@@ -54,9 +57,10 @@ let pp fmt t =
      candidates: %d attempted, %d filtered@\n\
      guard: %d rewrite error(s), %d fallback(s), %d quarantined, %d \
      quarantine skip(s)@\n\
-     verify: %d run(s), %d mismatch(es)"
+     verify: %d run(s), %d mismatch(es)@\n\
+     govern: %d degraded plan(s)"
     t.hits t.misses t.invalidated t.evicted t.attempted t.filtered t.rw_errors
     t.fallbacks t.quarantined t.quarantine_skips t.verify_runs
-    t.verify_mismatches
+    t.verify_mismatches t.degraded
 
 let to_string t = Format.asprintf "%a" pp t

@@ -16,7 +16,11 @@
     (query-fingerprint x summary-table) pairs newly quarantined;
     [quarantine_skips] counts candidates skipped on later plannings because
     they were quarantined. [verify_runs]/[verify_mismatches] count runtime
-    result verifications and the mismatches they caught. *)
+    result verifications and the mismatches they caught.
+
+    [degraded] counts plannings truncated by a resource budget (deadline
+    or work cap): the decision served was best-so-far, was {e not} cached,
+    and a later planning with an adequate budget will re-attempt it. *)
 
 type t = {
   mutable hits : int;
@@ -32,6 +36,7 @@ type t = {
   mutable quarantine_skips : int;
   mutable verify_runs : int;
   mutable verify_mismatches : int;
+  mutable degraded : int;
 }
 
 val create : unit -> t

@@ -1,10 +1,12 @@
 (* The fault-isolation subsystem: deterministic fault injection at every
    pipeline stage must degrade to the base plan (result-identical to a
    rewrite-off session, zero uncaught exceptions), failing candidates are
-   quarantined per (query-fingerprint x summary-table) and expire when the
-   store epoch moves, runtime verification catches an injected result
-   corruption and serves the correct answer, and a seeded randomized
-   workload under injection stays bag-equal to a plain session. *)
+   quarantined per (query-fingerprint x summary-table x definition-version)
+   and expire exactly when the table's definition version moves (REFRESH,
+   DROP + re-CREATE) — never on unrelated DML — runtime verification
+   catches an injected result corruption and serves the correct answer, and
+   a seeded randomized workload under injection stays bag-equal to a plain
+   session. *)
 
 module Sess = Mvstore.Session
 module Store = Mvstore.Store
@@ -130,29 +132,57 @@ let test_sandbox_classify () =
 
 let test_quarantine_unit () =
   let q = Q.create ~capacity:2 () in
-  Alcotest.(check bool) "fresh add" true (Q.add q ~epoch:1 ~fp:"a" ~mv:"m1");
+  let versions = [ ("m1", 1); ("m2", 1) ] in
+  Alcotest.(check bool) "fresh add" true (Q.add q ~version:1 ~fp:"a" ~mv:"m1");
   Alcotest.(check bool) "duplicate not re-added" false
-    (Q.add q ~epoch:1 ~fp:"a" ~mv:"m1");
+    (Q.add q ~version:1 ~fp:"a" ~mv:"m1");
   Alcotest.(check bool) "second mv same fp" true
-    (Q.add q ~epoch:1 ~fp:"a" ~mv:"m2");
+    (Q.add q ~version:1 ~fp:"a" ~mv:"m2");
   Alcotest.(check (list string)) "blocked lists both" [ "m1"; "m2" ]
-    (List.sort compare (Q.blocked q ~epoch:1 ~fp:"a"));
-  Alcotest.(check bool) "is_blocked" true (Q.is_blocked q ~epoch:1 ~fp:"a" ~mv:"m2");
+    (List.sort compare (Q.blocked q ~versions ~fp:"a"));
+  Alcotest.(check bool) "is_blocked" true
+    (Q.is_blocked q ~versions ~fp:"a" ~mv:"m2");
   Alcotest.(check int) "pairs held" 2 (Q.entries q);
-  (* epoch movement expires the entry on lookup *)
-  Alcotest.(check (list string)) "epoch bump expires" []
-    (Q.blocked q ~epoch:2 ~fp:"a");
+  (* unrelated DML bumps the global epoch, not the definition version:
+     the observation must stand *)
+  Alcotest.(check (list string)) "unchanged version stays blocked"
+    [ "m1"; "m2" ]
+    (List.sort compare (Q.blocked q ~versions ~fp:"a"));
+  (* refresh / re-create moves the version: expired on lookup *)
+  Alcotest.(check (list string)) "version move expires" []
+    (Q.blocked q ~versions:[ ("m1", 2); ("m2", 2) ] ~fp:"a");
   Alcotest.(check int) "expired entry dropped" 0 (Q.length q);
+  (* a table absent from the lookup (stale or dropped right now) is
+     retained but not reported; its re-created incarnation carries a new
+     version and must not inherit the old observation *)
+  ignore (Q.add q ~version:3 ~fp:"b" ~mv:"mm");
+  Alcotest.(check (list string)) "absent table not reported" []
+    (Q.blocked q ~versions:[] ~fp:"b");
+  Alcotest.(check int) "absent pair retained" 1 (Q.entries q);
+  Alcotest.(check bool) "same incarnation still blocked" true
+    (Q.is_blocked q ~versions:[ ("mm", 3) ] ~fp:"b" ~mv:"mm");
+  Alcotest.(check bool) "re-created incarnation not blocked" false
+    (Q.is_blocked q ~versions:[ ("mm", 9) ] ~fp:"b" ~mv:"mm");
+  (* a newer failure supersedes the same table's older pair *)
+  Q.clear q;
+  ignore (Q.add q ~version:1 ~fp:"c" ~mv:"k");
+  Alcotest.(check bool) "newer version supersedes" true
+    (Q.add q ~version:2 ~fp:"c" ~mv:"k");
+  Alcotest.(check int) "superseded, not accumulated" 1 (Q.entries q);
+  Alcotest.(check bool) "blocked at the new version" true
+    (Q.is_blocked q ~versions:[ ("k", 2) ] ~fp:"c" ~mv:"k");
   (* LRU bound on fingerprints *)
-  ignore (Q.add q ~epoch:5 ~fp:"x" ~mv:"m");
-  ignore (Q.add q ~epoch:5 ~fp:"y" ~mv:"m");
-  ignore (Q.blocked q ~epoch:5 ~fp:"x");
-  ignore (Q.add q ~epoch:5 ~fp:"z" ~mv:"m");
+  Q.clear q;
+  let vm = [ ("m", 5) ] in
+  ignore (Q.add q ~version:5 ~fp:"x" ~mv:"m");
+  ignore (Q.add q ~version:5 ~fp:"y" ~mv:"m");
+  ignore (Q.blocked q ~versions:vm ~fp:"x");
+  ignore (Q.add q ~version:5 ~fp:"z" ~mv:"m");
   Alcotest.(check int) "capacity bound" 2 (Q.length q);
   Alcotest.(check bool) "LRU victim evicted" false
-    (Q.is_blocked q ~epoch:5 ~fp:"y" ~mv:"m");
+    (Q.is_blocked q ~versions:vm ~fp:"y" ~mv:"m");
   Alcotest.(check bool) "recently used survives" true
-    (Q.is_blocked q ~epoch:5 ~fp:"x" ~mv:"m");
+    (Q.is_blocked q ~versions:vm ~fp:"x" ~mv:"m");
   Q.clear q;
   Alcotest.(check int) "clear" 0 (Q.entries q)
 
@@ -165,7 +195,7 @@ let test_quarantine_unit () =
 let test_injection_matrix () =
   with_clean_faults @@ fun () ->
   List.iter
-    (fun (point, summary, q) ->
+    (fun (point, summary, mv, q) ->
       let name = F.point_name point in
       let sn, plain, both = grouped_pair ~summary () in
       (* sanity: the query rewrites when healthy *)
@@ -193,17 +223,30 @@ let test_injection_matrix () =
         (st1.P.Stats.quarantined > st0.P.Stats.quarantined);
       (* repeat query: no fault armed any more, still served correctly *)
       check_equal (name ^ ": repeat query") sn plain q;
-      (* epoch movement expires the quarantine: rewriting comes back *)
+      (* unrelated DML bumps the epoch but not the table's definition
+         version: the quarantine observation must stand *)
       both "INSERT INTO t VALUES (5, 1);";
       let _, steps = run sn q in
-      Alcotest.(check bool) (name ^ ": rewrite restored after epoch bump")
+      Alcotest.(check bool) (name ^ ": quarantine survives unrelated DML")
+        true (steps = []);
+      check_equal (name ^ ": under quarantine") sn plain q;
+      (* REFRESH moves the definition version: the observation is void and
+         rewriting comes back *)
+      both (Printf.sprintf "REFRESH SUMMARY TABLE %s;" mv);
+      let _, steps = run sn q in
+      Alcotest.(check bool) (name ^ ": rewrite restored after REFRESH")
         true (steps <> []);
       check_equal (name ^ ": after restore") sn plain q)
     [
-      (F.Navigate, default_summary, "SELECT g, SUM(v) AS s FROM t GROUP BY g");
-      (F.Match, default_summary, "SELECT g, SUM(v) AS s FROM t GROUP BY g");
-      (F.Compensate, default_summary,
-       "SELECT g, COUNT(*) AS c FROM t GROUP BY g");
+      ( F.Navigate,
+        default_summary,
+        "m",
+        "SELECT g, SUM(v) AS s FROM t GROUP BY g" );
+      (F.Match, default_summary, "m", "SELECT g, SUM(v) AS s FROM t GROUP BY g");
+      ( F.Compensate,
+        default_summary,
+        "m",
+        "SELECT g, COUNT(*) AS c FROM t GROUP BY g" );
       (* expression translation runs when a select-level predicate is
          compensated through a finer summary and the query regroups it;
          duplicate (g, v) rows so the summary is genuinely smaller and the
@@ -217,8 +260,35 @@ let test_injection_matrix () =
              (List.concat
                 (List.init 10 (fun _ ->
                      [ "(1, 10)"; "(1, 20)"; "(2, 5)"; "(3, 8)" ])))),
+        "mf",
         "SELECT g, SUM(v) AS s FROM t WHERE v > 6 GROUP BY g" );
     ]
+
+(* the quarantine is keyed to the table's definition version: DROP +
+   re-CREATE of the same name is a new incarnation and must not inherit
+   (resurrect) the observation recorded against the old one *)
+let test_quarantine_not_resurrected_by_recreate () =
+  with_clean_faults @@ fun () ->
+  let sn, plain, both = grouped_pair ~verify:Sess.Always () in
+  let q = "SELECT g, SUM(v) AS s FROM t GROUP BY g" in
+  F.arm F.Corrupt ~after:1;
+  ignore (run sn q);
+  Alcotest.(check bool) "corruption fired" false (F.armed F.Corrupt);
+  let _, steps = run sn q in
+  Alcotest.(check bool) "quarantined after mismatch" true (steps = []);
+  (* unrelated DML: the epoch moves, the definition version does not *)
+  both "INSERT INTO t VALUES (7, 3);";
+  let _, steps = run sn q in
+  Alcotest.(check bool) "quarantine survives unrelated DML" true (steps = []);
+  check_equal "under quarantine" sn plain q;
+  (* the re-created table carries a new definition version: it rewrites,
+     and verification (still Always) confirms the result *)
+  both ("DROP SUMMARY TABLE m; " ^ default_summary);
+  let _, steps = run sn q in
+  Alcotest.(check bool) "re-created table rewrites" true (steps <> []);
+  check_equal "after re-create" sn plain q;
+  Alcotest.(check int) "no further mismatch" 1
+    (Sess.stats sn).P.Stats.verify_mismatches
 
 (* a failure in one candidate must not take down the others *)
 let test_other_ast_still_tried () =
@@ -464,6 +534,8 @@ let suite =
     Alcotest.test_case "sandbox classification" `Quick test_sandbox_classify;
     Alcotest.test_case "quarantine unit" `Quick test_quarantine_unit;
     Alcotest.test_case "injection matrix" `Quick test_injection_matrix;
+    Alcotest.test_case "quarantine not resurrected by re-create" `Quick
+      test_quarantine_not_resurrected_by_recreate;
     Alcotest.test_case "other AST still tried" `Quick
       test_other_ast_still_tried;
     Alcotest.test_case "verify catches corruption" `Quick

@@ -31,5 +31,6 @@ let () =
       ("fingerprint", Test_fingerprint.suite);
       ("plancache", Test_plancache.suite);
       ("guard", Test_guard.suite);
+      ("govern", Test_govern.suite);
       ("obs", Test_obs.suite);
     ]

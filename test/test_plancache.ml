@@ -128,7 +128,8 @@ let test_ri_extra_table_not_filtered () =
       "SELECT dim, SUM(v) AS s FROM fact, dims WHERE dim = id GROUP BY dim"
   in
   let idx =
-    P.Candidates.build [ { Astmatch.Rewrite.mv_name = "mj"; mv_graph } ]
+    P.Candidates.build
+      [ { Astmatch.Rewrite.mv_name = "mj"; mv_graph; mv_version = 0 } ]
   in
   let q = build "SELECT dim, SUM(v) AS s FROM fact GROUP BY dim" in
   let kept, _ = P.Candidates.eligible idx cat q in

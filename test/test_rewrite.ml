@@ -38,7 +38,7 @@ let with_mv db name sql =
       }
   in
   let db = Engine.Db.put (Engine.Db.with_catalog db cat2) name rel in
-  (db, { Astmatch.Rewrite.mv_name = name; mv_graph = ag })
+  (db, { Astmatch.Rewrite.mv_name = name; mv_graph = ag; mv_version = 0 })
 
 let test_apply_preserves_presentation () =
   let db = Lazy.force star_db in

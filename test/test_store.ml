@@ -97,7 +97,7 @@ let test_incremental_matches_full ()
   let delta1 = [ [| i 10; i 1; s "x"; i 100 |]; [| i 11; i 3; s "z"; i 2 |] ] in
   let delta2 = [ [| i 12; i 1; s "z"; V.Null |] ] in
   let apply (store, db) rows =
-    let store, db = S.apply_insert store db ~table:"fact" ~rows in
+    let store, db, _ = S.apply_insert store db ~table:"fact" ~rows in
     let current = Engine.Db.get_exn db "fact" in
     (store, Engine.Db.put db "fact" (R.append current rows))
   in
@@ -117,9 +117,10 @@ let test_non_incremental_goes_stale () =
       "select grp, count(*) as c from fact group by grp having count(*) > 1"
   in
   let rows = [ [| i 10; i 1; s "x"; i 1 |] ] in
-  let store, db = S.apply_insert store db ~table:"fact" ~rows in
+  let store, db, went_stale = S.apply_insert store db ~table:"fact" ~rows in
   let e = Option.get (S.find store "m") in
   Alcotest.(check bool) "stale" false e.S.e_fresh;
+  Alcotest.(check (list string)) "staleness reported" [ "m" ] went_stale;
   Alcotest.(check int) "excluded from rewriting" 0
     (List.length (S.rewritable store));
   (* refresh restores *)
@@ -131,11 +132,78 @@ let test_non_incremental_goes_stale () =
 
 let test_unrelated_table_insert_ignored () =
   let store, db = define (fresh_db ()) "m" "select grp, count(*) as c from fact group by grp" in
-  let store, _ =
+  let store, _, went_stale =
     S.apply_insert store db ~table:"dims" ~rows:[ [| i 9; s "zz"; V.Null |] ]
   in
+  Alcotest.(check (list string)) "nothing went stale" [] went_stale;
   Alcotest.(check bool) "still fresh" true
     (Option.get (S.find store "m")).S.e_fresh
+
+(* ---------------- delete maintenance edge cases ---------------- *)
+
+(* Delete the base rows AND fold the delta into the summaries; mirrors the
+   session's ordering (maintenance sees the delta before the table shrinks). *)
+let apply_delete_rows (store, db) rows =
+  let store, db, went_stale = S.apply_delete store db ~table:"fact" ~rows in
+  let current = Engine.Db.get_exn db "fact" in
+  let doomed = R.create (Array.to_list (R.columns current)) rows in
+  ((store, Engine.Db.put db "fact" (R.bag_diff current doomed)), went_stale)
+
+let test_delete_nullable_sum_goes_stale () =
+  (* v is nullable: subtracting from SUM(v) cannot restore the NULL that a
+     group of all-NULL arguments requires, so deletes must not be folded *)
+  let store, db =
+    define (fresh_db ()) "m"
+      "select grp, count(*) as c, sum(v) as s from fact group by grp"
+  in
+  let (store, _db), went_stale =
+    apply_delete_rows (store, db) [ [| i 3; i 2; s "y"; i 5 |] ]
+  in
+  Alcotest.(check bool) "stale after delete" false
+    (Option.get (S.find store "m")).S.e_fresh;
+  Alcotest.(check (list string)) "reported stale" [ "m" ] went_stale
+
+let test_delete_count_zero_removes_group () =
+  (* SUM over the non-nullable k: delete-safe. Removing every "y" row must
+     drop the group (COUNT reaches 0), matching a recomputation exactly *)
+  let store, db =
+    define (fresh_db ()) "m"
+      "select grp, count(*) as c, sum(k) as sk from fact group by grp"
+  in
+  let doomed =
+    [
+      [| i 3; i 2; s "y"; i 5 |];
+      [| i 5; i 3; s "y"; i 7 |];
+      [| i 6; i 3; s "y"; i 7 |];
+    ]
+  in
+  let (store, db), went_stale = apply_delete_rows (store, db) doomed in
+  Alcotest.(check (list string)) "still fresh" [] went_stale;
+  let e = Option.get (S.find store "m") in
+  Alcotest.(check bool) "fresh" true e.S.e_fresh;
+  let maintained = Engine.Db.get_exn db "m" in
+  Alcotest.(check int) "y group removed" 1 (R.cardinality maintained);
+  let recomputed = Engine.Exec.run db e.S.e_graph in
+  Alcotest.(check bool) "incremental delete equals recompute" true
+    (R.bag_equal_by_name recomputed
+       (R.project maintained (Array.to_list (R.columns recomputed))))
+
+let test_delete_minmax_goes_stale () =
+  (* MIN/MAX cannot be maintained under deletion (the deleted row may have
+     held the extremum); the summary must go stale, not silently drift *)
+  let store, db =
+    define (fresh_db ()) "m"
+      "select grp, count(*) as c, min(k) as mn, max(k) as mx from fact \
+       group by grp"
+  in
+  let (store, _db), went_stale =
+    apply_delete_rows (store, db) [ [| i 2; i 1; s "x"; i 20 |] ]
+  in
+  Alcotest.(check bool) "stale after delete" false
+    (Option.get (S.find store "m")).S.e_fresh;
+  Alcotest.(check (list string)) "reported stale" [ "m" ] went_stale;
+  Alcotest.(check int) "excluded from rewriting" 0
+    (List.length (S.rewritable store))
 
 (* property: random insert batches, incremental == full recompute *)
 let arb_rows =
@@ -170,7 +238,7 @@ let prop_incremental_equals_full =
               batch
           in
           let store, db = !state in
-          let store, db = S.apply_insert store db ~table:"fact" ~rows in
+          let store, db, _ = S.apply_insert store db ~table:"fact" ~rows in
           let db =
             Engine.Db.put db "fact" (R.append (Engine.Db.get_exn db "fact") rows)
           in
@@ -197,5 +265,11 @@ let suite =
     Alcotest.test_case "stale + refresh" `Quick test_non_incremental_goes_stale;
     Alcotest.test_case "unrelated inserts ignored" `Quick
       test_unrelated_table_insert_ignored;
+    Alcotest.test_case "delete: nullable SUM goes stale" `Quick
+      test_delete_nullable_sum_goes_stale;
+    Alcotest.test_case "delete: COUNT reaching zero removes group" `Quick
+      test_delete_count_zero_removes_group;
+    Alcotest.test_case "delete: MIN/MAX goes stale" `Quick
+      test_delete_minmax_goes_stale;
     QCheck_alcotest.to_alcotest prop_incremental_equals_full;
   ]
