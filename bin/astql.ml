@@ -7,6 +7,10 @@
      astql demo             interactive shell preloaded with the paper's
                             star schema and generated data
      astql advise FILE      recommend summary tables for a query workload
+     astql lint FILE        static checks: queries are elaborated to QGM
+                            and validated (Lint.Validate) without running;
+                            summary-table definitions get definition-time
+                            diagnostics (Lint.Advisor)
 
    Error containment: a failing statement mid-script — lexical, parse,
    semantic or runtime — prints a classified error with line/column context
@@ -63,11 +67,12 @@ let exec_one session stmt =
         (Printexc.to_string e);
       false
 
-(* Execute statements one at a time, printing each outcome as it happens.
-   On a lexical/parse error, report it with position context and resume
-   after the next ';' — a broken statement never aborts the rest of the
-   script. Returns false when anything failed. *)
-let exec_text session text =
+(* Walk a script statement by statement, calling [on_stmt] on each parsed
+   statement (returning false marks failure). On a lexical/parse error,
+   [on_syntax_error] is told the kind, message and line/column context,
+   then scanning resumes after the next ';' — a broken statement never
+   aborts the rest of the script. Returns false when anything failed. *)
+let walk_script ~on_stmt ~on_syntax_error text =
   let n = String.length text in
   (* resume after the next ';' at or beyond [off] *)
   let resume_point off =
@@ -86,18 +91,26 @@ let exec_text session text =
   and statements cursor base ok =
     match Sqlsyn.Parser.script_next cursor with
     | None -> ok
-    | Some stmt -> statements cursor base (exec_one session stmt && ok)
+    | Some stmt -> statements cursor base (on_stmt stmt && ok)
     | exception Sqlsyn.Parser.Parse_error (m, p) ->
         syntax_error "parse error" m (base + p)
     | exception Sqlsyn.Lexer.Lex_error (m, p) ->
         syntax_error "lexical error" m (base + p)
   and syntax_error label m off =
-    Printf.printf "%s at %s: %s\n" label (pos_context text off) m;
+    on_syntax_error label m (pos_context text off);
     match resume_point off with
     | Some next -> from_offset next false
     | None -> false
   in
   from_offset 0 true
+
+(* Execute statements one at a time, printing each outcome as it happens. *)
+let exec_text session text =
+  walk_script
+    ~on_stmt:(exec_one session)
+    ~on_syntax_error:(fun label m ctx ->
+      Printf.printf "%s at %s: %s\n" label ctx m)
+    text
 
 let print_stats session =
   print_endline (Plancache.Stats.to_string (Mvstore.Session.stats session))
@@ -141,6 +154,85 @@ let set_limits session args =
   | _ -> bad ());
   print_limits session
 
+let print_lint session =
+  match Mvstore.Session.lint_summaries session with
+  | [] -> print_endline "no summary tables defined"
+  | entries ->
+      let clean = ref 0 in
+      List.iter
+        (fun (name, diags) ->
+          match diags with
+          | [] -> incr clean
+          | ds ->
+              List.iter
+                (fun d ->
+                  Printf.printf "%s: %s\n" name (Lint.Advisor.render d))
+                ds)
+        entries;
+      if !clean > 0 then
+        Printf.printf "%d summary table%s clean\n" !clean
+          (if !clean = 1 then "" else "s")
+
+(* One statement of [astql lint]: DDL executes quietly so later statements
+   resolve against the right catalog; DML is skipped (table contents don't
+   matter statically); queries are elaborated to QGM and validated without
+   running; summary definitions additionally collect Advisor diagnostics.
+   Returns false on a hard failure (semantic error, validator violation). *)
+let lint_stmt session ~file ~stmt_no ~warnings stmt =
+  let module A = Sqlsyn.Ast in
+  let cat () = Engine.Db.catalog (Mvstore.Session.db session) in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "%s: %s\n" file m;
+        false)
+      fmt
+  in
+  let validate_query what q =
+    match Qgm.Builder.build (cat ()) q with
+    | exception Qgm.Builder.Sem_error m ->
+        fail "%s: semantic error: %s" what m
+    | g -> (
+        match Lint.Validate.check ~cat:(cat ()) g with
+        | [] -> true
+        | vs ->
+            List.iter
+              (fun v ->
+                Printf.printf "%s: %s: %s\n" file what
+                  (Lint.Validate.render v))
+              vs;
+            false)
+  in
+  let exec_quiet () =
+    match Mvstore.Session.exec_stmt session stmt with
+    | _ -> true
+    | exception Mvstore.Session.Session_error m -> fail "error: %s" m
+    | exception Mvstore.Store.Mv_error m -> fail "summary-table error: %s" m
+  in
+  match stmt with
+  | A.Create_table _ | A.Drop_summary _ -> exec_quiet ()
+  | A.Insert _ | A.Delete _ | A.Copy_from _ | A.Copy_to _
+  | A.Refresh_summary _ ->
+      true
+  | A.Create_summary { cs_name; cs_query } ->
+      validate_query (Printf.sprintf "summary %s" cs_name) cs_query
+      && exec_quiet ()
+      &&
+      ((match
+          List.assoc_opt cs_name (Mvstore.Session.lint_summaries session)
+        with
+       | Some ds ->
+           List.iter
+             (fun d ->
+               incr warnings;
+               Printf.printf "%s: summary %s: %s\n" file cs_name
+                 (Lint.Advisor.render d))
+             ds
+       | None -> ());
+       true)
+  | A.Select q | A.Explain_rewrite (q, _) | A.Explain_plan q ->
+      validate_query (Printf.sprintf "statement %d" stmt_no) q
+
 let print_traces session =
   match Mvstore.Session.traces session with
   | [] ->
@@ -159,7 +251,7 @@ let repl session =
      planner counters, \\health for fault-isolation and maintenance \
      counters, \\limits to show/set per-statement resource budgets, \\trace \
      on|off|show for planning traces, \\metrics [json] for the metrics \
-     registry)";
+     registry, \\lint for summary-table diagnostics)";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "astql> " else "   ...> ");
@@ -189,6 +281,10 @@ let repl session =
             |> String.split_on_char ' '
             |> List.map String.trim
             |> List.filter (fun s -> s <> ""));
+          loop ()
+        end
+        else if trimmed = "\\lint" then begin
+          print_lint session;
           loop ()
         end
         else if trimmed = "\\trace on" then begin
@@ -317,6 +413,31 @@ let match_budget_arg =
   in
   Arg.(value & opt (some int) None & info [ "match-budget" ] ~docv:"N" ~doc)
 
+let validate_conv =
+  let parse s =
+    match Lint.Level.of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg "expected 0|off, 1|final-plan, or 2|every-candidate")
+  in
+  let print fmt l = Format.pp_print_string fmt (Lint.Level.to_string l) in
+  Arg.conv (parse, print)
+
+let validate_arg =
+  let doc =
+    "Static IR validation level: $(b,0)/$(b,off) disables it, \
+     $(b,1)/$(b,final-plan) checks the final rewritten plan before it is \
+     cached or executed (the default), $(b,2)/$(b,every-candidate) also \
+     checks builder output and every compensation the rewriter builds \
+     (an ill-formed candidate is rejected and its summary table \
+     quarantined). Defaults to $(b,ASTQL_VALIDATE) from the environment."
+  in
+  Arg.(
+    value
+    & opt (some validate_conv) None
+    & info [ "validate" ] ~docv:"LEVEL" ~doc)
+
+let set_validate = function None -> () | Some l -> Lint.Level.set l
+
 let auto_maint_flag =
   let doc =
     "Self-healing maintenance: auto-refresh summary tables that DML left \
@@ -368,9 +489,10 @@ let dump_metrics = function
 
 let run_cmd =
   let doc = "Execute SQL script files." in
-  let run no_rewrite verify fault deadline_ms match_budget auto_maint stats
-      health metrics_out files =
+  let run no_rewrite verify fault deadline_ms match_budget auto_maint
+      validate stats health metrics_out files =
     arm_faults fault;
+    set_validate validate;
     let session =
       make_session ~rewrite:(not no_rewrite) ~verify
         ~budget:(limits_of ~deadline_ms ~match_budget)
@@ -391,14 +513,15 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
-      $ match_budget_arg $ auto_maint_flag $ stats_flag $ health_flag
-      $ metrics_out_arg $ files_arg)
+      $ match_budget_arg $ auto_maint_flag $ validate_arg $ stats_flag
+      $ health_flag $ metrics_out_arg $ files_arg)
 
 let repl_cmd =
   let doc = "Interactive shell over an empty database." in
   let run no_rewrite verify fault deadline_ms match_budget auto_maint
-      metrics_out =
+      validate metrics_out =
     arm_faults fault;
+    set_validate validate;
     repl
       (make_session ~rewrite:(not no_rewrite) ~verify
          ~budget:(limits_of ~deadline_ms ~match_budget)
@@ -408,13 +531,14 @@ let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc)
     Term.(
       const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
-      $ match_budget_arg $ auto_maint_flag $ metrics_out_arg)
+      $ match_budget_arg $ auto_maint_flag $ validate_arg $ metrics_out_arg)
 
 let demo_cmd =
   let doc = "Interactive shell preloaded with the paper's star schema." in
-  let run no_rewrite verify fault deadline_ms match_budget auto_maint scale
-      metrics_out =
+  let run no_rewrite verify fault deadline_ms match_budget auto_maint
+      validate scale metrics_out =
     arm_faults fault;
+    set_validate validate;
     repl
       (make_session ~rewrite:(not no_rewrite) ~verify
          ~budget:(limits_of ~deadline_ms ~match_budget)
@@ -424,7 +548,8 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
       const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
-      $ match_budget_arg $ auto_maint_flag $ scale_arg $ metrics_out_arg)
+      $ match_budget_arg $ auto_maint_flag $ validate_arg $ scale_arg
+      $ metrics_out_arg)
 
 let advise_cmd =
   let doc =
@@ -453,7 +578,54 @@ let advise_cmd =
   in
   Cmd.v (Cmd.info "advise" ~doc) Term.(const run $ files_arg)
 
+let strict_flag =
+  let doc =
+    "Treat summary-table lint warnings (L-codes) as errors: exit non-zero \
+     when any are reported."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let lint_cmd =
+  let doc =
+    "Statically check SQL scripts without executing queries: every SELECT \
+     / EXPLAIN is elaborated to QGM and run through the structural \
+     validator (V-codes); CREATE SUMMARY TABLE definitions get \
+     definition-time diagnostics (L-codes). DDL is applied to an empty \
+     in-memory catalog so names resolve; DML is skipped. Exits non-zero \
+     on syntax errors, semantic errors or validator violations."
+  in
+  let run strict files =
+    let session = Mvstore.Session.create ~rewrite:false () in
+    let warnings = ref 0 in
+    let checked = ref 0 in
+    let ok =
+      List.fold_left
+        (fun ok f ->
+          let text = In_channel.with_open_text f In_channel.input_all in
+          let stmt_no = ref 0 in
+          walk_script
+            ~on_stmt:(fun stmt ->
+              incr stmt_no;
+              incr checked;
+              lint_stmt session ~file:f ~stmt_no:!stmt_no ~warnings stmt)
+            ~on_syntax_error:(fun label m ctx ->
+              Printf.printf "%s: %s at %s: %s\n" f label ctx m)
+            text
+          && ok)
+        true files
+    in
+    Printf.printf "lint: %d statement%s checked, %d warning%s%s\n" !checked
+      (if !checked = 1 then "" else "s")
+      !warnings
+      (if !warnings = 1 then "" else "s")
+      (if ok then "" else ", errors found");
+    if (not ok) || (strict && !warnings > 0) then Stdlib.exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ strict_flag $ files_arg)
+
 let () =
   let doc = "answering complex SQL queries using automatic summary tables" in
   let info = Cmd.info "astql" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; repl_cmd; demo_cmd; advise_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; repl_cmd; demo_cmd; advise_cmd; lint_cmd ]))

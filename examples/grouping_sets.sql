@@ -1,0 +1,39 @@
+-- Grouping sets (paper sec. 5): one summary table holding a ROLLUP lattice
+-- answers queries at several granularities.
+-- Run with:   astql run examples/grouping_sets.sql
+-- Lint with:  astql lint examples/grouping_sets.sql
+
+CREATE TABLE trans (
+  storeid INT NOT NULL,
+  prodid  INT NOT NULL,
+  qty     INT NOT NULL
+);
+
+INSERT INTO trans VALUES
+  (1, 100, 4), (1, 101, 2), (2, 100, 9), (2, 102, 1), (3, 101, 6);
+
+-- The rollup summary covers (storeid, prodid), (storeid) and () in one
+-- table; cuboid slicing picks the right stratum per query.
+CREATE SUMMARY TABLE trans_rollup AS
+SELECT storeid, prodid, SUM(qty) AS total, COUNT(*) AS cnt
+FROM trans
+GROUP BY ROLLUP(storeid, prodid);
+
+-- Served from the (storeid, prodid) stratum.
+SELECT storeid, prodid, SUM(qty) AS total
+FROM trans
+GROUP BY storeid, prodid;
+
+-- Served from the (storeid) stratum — no re-aggregation needed.
+EXPLAIN REWRITE SELECT storeid, SUM(qty) AS total
+FROM trans
+GROUP BY storeid;
+
+SELECT storeid, SUM(qty) AS total
+FROM trans
+GROUP BY storeid;
+
+-- A grouping-sets query matched against the lattice.
+SELECT storeid, prodid, SUM(qty) AS total
+FROM trans
+GROUP BY GROUPING SETS ((storeid, prodid), (storeid));

@@ -1,0 +1,38 @@
+-- Summary-table lint showcase: each definition below is legal but trips a
+-- definition-time diagnostic (L-code).  Nothing here is a hard error —
+--   astql lint examples/lint_showcase.sql
+-- exits 0 and prints the warnings (use --strict to make them fatal).
+
+CREATE TABLE orders (
+  region  VARCHAR NOT NULL,
+  channel VARCHAR,          -- nullable: ROLLUP over it is ambiguous (L104)
+  amount  INT NOT NULL
+);
+
+-- L101: AVG stored without a count — the average cannot be re-aggregated
+-- to coarser groupings, so this table only serves exact-grouping matches.
+CREATE SUMMARY TABLE avg_only AS
+SELECT region, AVG(amount) AS avg_amount
+FROM orders
+GROUP BY region;
+
+-- L102: DISTINCT aggregates are not decomposable; COUNT(DISTINCT) blocks
+-- re-aggregation entirely.  L103 too: no COUNT(*) column.
+CREATE SUMMARY TABLE distinct_agg AS
+SELECT region, COUNT(DISTINCT channel) AS channels
+FROM orders
+GROUP BY region;
+
+-- L104: the rollup folds a nullable column, so a stored NULL is ambiguous
+-- between "subtotal row" and "channel was NULL" (paper sec. 5.1 keeps the
+-- strata apart with grouping indicators).
+CREATE SUMMARY TABLE rollup_nullable AS
+SELECT region, channel, SUM(amount) AS total, COUNT(*) AS cnt
+FROM orders
+GROUP BY ROLLUP(region, channel);
+
+-- L105: same base tables and grouping as avg_only — redundant footprint.
+CREATE SUMMARY TABLE avg_only_twin AS
+SELECT region, SUM(amount) AS total, COUNT(*) AS cnt
+FROM orders
+GROUP BY region;

@@ -1,0 +1,38 @@
+-- Quickstart: a summary table that transparently answers rollup queries.
+-- Run with:   astql run examples/quickstart.sql
+-- Lint with:  astql lint examples/quickstart.sql
+
+CREATE TABLE sales (
+  region  VARCHAR NOT NULL,
+  product VARCHAR NOT NULL,
+  qty     INT NOT NULL,
+  price   INT NOT NULL
+);
+
+INSERT INTO sales VALUES
+  ('east', 'widget', 10, 5),
+  ('east', 'gadget',  3, 20),
+  ('west', 'widget',  7, 5),
+  ('west', 'sprocket', 2, 50);
+
+-- Fine-grained summary: one row per (region, product).  COUNT(*) makes the
+-- table usable for AVG derivation and further re-aggregation (paper sec. 4).
+CREATE SUMMARY TABLE sales_by_region_product AS
+SELECT region, product, SUM(qty) AS total_qty, SUM(qty * price) AS revenue,
+       COUNT(*) AS cnt
+FROM sales
+GROUP BY region, product;
+
+-- Answered from the summary table directly.
+SELECT region, product, SUM(qty) AS total_qty
+FROM sales
+GROUP BY region, product;
+
+-- Coarser rollup: answered by re-aggregating the summary table.
+EXPLAIN REWRITE SELECT region, SUM(qty * price) AS revenue
+FROM sales
+GROUP BY region;
+
+SELECT region, SUM(qty * price) AS revenue
+FROM sales
+GROUP BY region;

@@ -1,0 +1,48 @@
+(* Validation-level knob for the static IR checker (DESIGN.md section 12).
+
+   Three levels, settable through ASTQL_VALIDATE or at runtime:
+
+     0 / off             no validation at all; every hook is one int compare
+     1 / final-plan      validate the final rewritten plan before it is
+                         cached or executed (the default)
+     2 / every-candidate validate builder output, every compensation the
+                         rewriter constructs, and the final plan
+
+   The knob is process-global (like Config's ablation switches) because
+   validation is a property of the build, not of one session. *)
+
+type t = Off | Final | Candidates
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "off" | "none" -> Some Off
+  | "1" | "final" | "final-plan" -> Some Final
+  | "2" | "candidates" | "every-candidate" | "all" -> Some Candidates
+  | _ -> None
+
+let to_string = function
+  | Off -> "off"
+  | Final -> "final-plan"
+  | Candidates -> "every-candidate"
+
+let to_int = function Off -> 0 | Final -> 1 | Candidates -> 2
+
+let default =
+  match Sys.getenv_opt "ASTQL_VALIDATE" with
+  | Some s -> ( match of_string s with Some l -> l | None -> Final)
+  | None -> Final
+
+let level = ref default
+let current () = !level
+let set l = level := l
+
+(* Validate the final chosen plan? (levels 1 and 2) *)
+let final_on () = !level <> Off
+
+(* Validate builder output and every candidate compensation? (level 2) *)
+let candidates_on () = !level = Candidates
+
+let with_level l f =
+  let saved = !level in
+  level := l;
+  Fun.protect ~finally:(fun () -> level := saved) f

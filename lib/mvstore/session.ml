@@ -304,8 +304,20 @@ let do_copy_to t table path =
 (* ---------------- queries ---------------- *)
 
 let build_query t q =
-  try Qgm.Builder.build (Engine.Db.catalog t.sdb) q
-  with Qgm.Builder.Sem_error m -> err "semantic error: %s" m
+  let g =
+    try Qgm.Builder.build (Engine.Db.catalog t.sdb) q
+    with Qgm.Builder.Sem_error m -> err "semantic error: %s" m
+  in
+  (* At ASTQL_VALIDATE=2 the builder's output is held to the same static
+     invariants as every rewrite candidate; a failure here is an engine
+     bug surfaced as a session error, not a crash. *)
+  if Lint.Level.candidates_on () then
+    (match Lint.Validate.check ~cat:(Engine.Db.catalog t.sdb) g with
+    | [] -> ()
+    | vs ->
+        err "internal error: builder produced ill-formed IR (%s)"
+          (Lint.Validate.summary vs));
+  g
 
 (* The single planning entry point: run_query, EXPLAIN REWRITE and EXPLAIN
    all route through here, so what EXPLAIN reports is exactly what
@@ -509,6 +521,11 @@ let explain ?(verbose = false) t q =
   addf "cache: %s\n" (if r.Plancache.Planner.pr_hit then "hit" else "miss");
   addf "candidates: %d attempted, %d filtered (of %d fresh)\n" r.pr_attempted
     r.pr_filtered (List.length fresh);
+  addf "validated: %s%s\n"
+    (Lint.Level.to_string (Lint.Level.current ()))
+    (if r.pr_validated > 0 then
+       Printf.sprintf " (%d graph(s) checked)" r.pr_validated
+     else "");
   if r.pr_quarantined > 0 then
     addf "quarantine: %d candidate(s) held\n" r.pr_quarantined;
   (match r.pr_degraded with
@@ -548,9 +565,26 @@ let explain ?(verbose = false) t q =
               Astmatch.Navigator.find_matches ~trace cat ~query:g
                 ~ast:mv.mv_graph
             in
-            if sites <> [] then
-              addf "  %s: matches, but the rewrite is not estimated cheaper\n"
-                mv.mv_name
+            if sites <> [] then (
+              (* a contained error is the real story, not cost *)
+              match
+                List.find_opt
+                  (fun (e : Guard.Error.t) -> e.err_mv = Some mv.mv_name)
+                  r.pr_errors
+              with
+              | Some e ->
+                  let reason =
+                    match e.Guard.Error.err_kind with
+                    | Guard.Error.Ill_formed m -> Obs.Trace.Ir_invalid m
+                    | _ -> Obs.Trace.Contained_error (Guard.Error.to_string e)
+                  in
+                  addf "  %s: rejected — %s [%s]\n" mv.mv_name
+                    (Obs.Trace.describe reason)
+                    (Obs.Trace.reason_code reason)
+              | None ->
+                  addf
+                    "  %s: matches, but the rewrite is not estimated cheaper\n"
+                    mv.mv_name)
             else begin
               addf "  %s: no match\n" mv.mv_name;
               if verbose then
@@ -591,6 +625,25 @@ let explain ?(verbose = false) t q =
 
 (* ---------------- statements ---------------- *)
 
+(* Definition-time lint of one stored summary against the rest of the
+   store (overlap detection) and its maintainability verdict. *)
+let lint_entry t (e : Store.entry) =
+  let existing =
+    List.filter_map
+      (fun (o : Store.entry) ->
+        if o.Store.e_name = e.Store.e_name then None
+        else Some (o.Store.e_name, o.Store.e_graph))
+      (Store.entries t.sstore)
+  in
+  Lint.Advisor.lint ~existing
+    ~incremental:(e.Store.e_incr <> None)
+    (Engine.Db.catalog t.sdb) e.Store.e_graph
+
+let lint_summaries t =
+  List.map
+    (fun (e : Store.entry) -> (e.Store.e_name, lint_entry t e))
+    (Store.entries t.sstore)
+
 let stmt_label = function
   | A.Create_table _ -> "CREATE TABLE"
   | A.Insert _ -> "INSERT"
@@ -621,12 +674,18 @@ let exec_stmt_dispatch t stmt =
         t.sstore <- store';
         t.sdb <- db';
         let e = Option.get (Store.find store' cs_name) in
+        let warnings =
+          List.map
+            (fun d -> "\n  lint " ^ Lint.Advisor.render d)
+            (lint_entry t e)
+        in
         Msg
-          (Printf.sprintf "summary table %s created (%d rows%s)" cs_name
+          (Printf.sprintf "summary table %s created (%d rows%s)%s" cs_name
              (R.cardinality (Engine.Db.get_exn db' cs_name))
              (match e.Store.e_incr with
              | Some _ -> ", incrementally maintainable"
-             | None -> ""))
+             | None -> "")
+             (String.concat "" warnings))
       with Store.Mv_error m -> err "%s" m)
   | A.Drop_summary name -> (
       try

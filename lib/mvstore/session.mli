@@ -90,6 +90,12 @@ val clear_traces : t -> unit
 val db : t -> Engine.Db.t
 val store : t -> Store.t
 
+(** Definition-time lint (Lint.Advisor) of every summary table currently
+    in the store, in definition order: [(name, diagnostics)]. Also run
+    automatically on CREATE SUMMARY TABLE, whose message carries the
+    diagnostics as warnings. *)
+val lint_summaries : t -> (string * Lint.Advisor.diag list) list
+
 (** The session's rewrite planner (candidate index + plan cache). *)
 val planner : t -> Plancache.Planner.t
 

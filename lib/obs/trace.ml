@@ -28,6 +28,7 @@ type reason =
   | Filtered_by_index
   | Quarantined
   | Contained_error of string
+  | Ir_invalid of string
   | Unsupported of string
 
 let reason_code = function
@@ -47,6 +48,7 @@ let reason_code = function
   | Filtered_by_index -> "filtered-by-index"
   | Quarantined -> "quarantined"
   | Contained_error _ -> "contained-error"
+  | Ir_invalid _ -> "invalid-ir"
   | Unsupported _ -> "unsupported-shape"
 
 let describe = function
@@ -83,6 +85,8 @@ let describe = function
       "filtered by the candidate index (footprint or eligibility bits)"
   | Quarantined -> "held in quarantine for this query fingerprint"
   | Contained_error e -> Printf.sprintf "contained error: %s" e
+  | Ir_invalid v ->
+      Printf.sprintf "static IR validation failed: %s" v
   | Unsupported d -> d
 
 (* ---------------- spans ---------------- *)

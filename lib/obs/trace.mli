@@ -28,6 +28,7 @@ type reason =
   | Filtered_by_index           (** plancache candidate filter *)
   | Quarantined                 (** guard quarantine for this fingerprint *)
   | Contained_error of string   (** sandboxed exception (lib/guard) *)
+  | Ir_invalid of string        (** static IR validation failed (lib/lint) *)
   | Unsupported of string       (** a shape the matcher deliberately rejects *)
 
 (** Stable kebab-case identifier, e.g. ["predicate-not-derivable"]. *)

@@ -27,6 +27,7 @@ type report = {
   pr_quarantined : int;
   pr_errors : Guard.Error.t list;
   pr_degraded : Govern.Budget.reason option;
+  pr_validated : int;  (* static validator runs during this planning *)
 }
 
 let create ?(capacity = 256) ?quarantine_capacity () =
@@ -63,7 +64,7 @@ let index t ~epoch mvs =
 
 let classify t ~cat ~epoch ~mvs g = Candidates.eligible (index t ~epoch mvs) cat g
 
-let report_of g fp ~hit ~errors (e : entry) =
+let report_of g fp ~hit ~errors ?(validated = 0) (e : entry) =
   let graph, steps =
     match e.en_decision with
     | No_rewrite -> (g, [])
@@ -79,6 +80,7 @@ let report_of g fp ~hit ~errors (e : entry) =
     pr_quarantined = e.en_quarantined;
     pr_errors = errors;
     pr_degraded = None;
+    pr_validated = validated;
   }
 
 let m_requests = Obs.Metrics.counter "plan.requests"
@@ -90,6 +92,8 @@ let m_quarantine_skips = Obs.Metrics.counter "plan.quarantine_skips"
 let m_errors = Obs.Metrics.counter "plan.contained_errors"
 let m_plan_ms = Obs.Metrics.histogram "plan.ms"
 let m_degraded = Obs.Metrics.counter "govern.degraded_plans"
+let m_lint_runs = Obs.Metrics.counter "lint.validate.runs"
+let m_lint_final = Obs.Metrics.counter "lint.final_rejects"
 
 let plan_raw ?trace ?budget t ~cat ~epoch ~mvs g =
   let st = t.p_stats in
@@ -145,6 +149,7 @@ let plan_raw ?trace ?budget t ~cat ~epoch ~mvs g =
             then st.Stats.quarantined <- st.Stats.quarantined + 1
         | None -> ()
       in
+      let v_runs0 = Obs.Metrics.counter_value m_lint_runs in
       let decision =
         match Astmatch.Rewrite.best ~cat ~on_error ?trace ?budget g kept with
         | None -> No_rewrite
@@ -152,6 +157,50 @@ let plan_raw ?trace ?budget t ~cat ~epoch ~mvs g =
             Obs.Metrics.incr m_rewrites;
             Rewrite (g', steps)
       in
+      (* final-plan static check (ASTQL_VALIDATE >= 1): a rewritten plan
+         that fails validation never executes — its summaries are
+         quarantined and the query degrades to the base plan. Candidates
+         were already checked individually at level 2, so at that level
+         this is a cheap re-check of the winner. *)
+      let decision =
+        match decision with
+        | Rewrite (g', steps) when Lint.Level.final_on () -> (
+            match Lint.Validate.check ~cat g' with
+            | [] -> decision
+            | vs ->
+                Obs.Metrics.incr m_lint_final;
+                let msg = Lint.Validate.summary vs in
+                let mv0 =
+                  match steps with
+                  | (s : Astmatch.Rewrite.step) :: _ -> Some s.used_mv
+                  | [] -> None
+                in
+                errors :=
+                  {
+                    Guard.Error.err_stage = Guard.Error.Validate;
+                    err_kind = Guard.Error.Ill_formed msg;
+                    err_mv = mv0;
+                  }
+                  :: !errors;
+                st.Stats.rw_errors <- st.Stats.rw_errors + 1;
+                Obs.Metrics.incr m_errors;
+                Obs.Trace.reject trace ~kind:"plan" ~label:"final plan"
+                  (Obs.Trace.Ir_invalid msg);
+                List.iter
+                  (fun (s : Astmatch.Rewrite.step) ->
+                    match List.assoc_opt s.used_mv versions with
+                    | Some version ->
+                        if
+                          Guard.Quarantine.add t.p_quarantine ~version ~fp
+                            ~mv:s.used_mv
+                        then
+                          st.Stats.quarantined <- st.Stats.quarantined + 1
+                    | None -> ())
+                  steps;
+                No_rewrite)
+        | _ -> decision
+      in
+      let validated = Obs.Metrics.counter_value m_lint_runs - v_runs0 in
       (* a contained failure that left the query unrewritten is a fallback
          to the base plan; if another AST still served it, it is not *)
       if !errors <> [] && decision = No_rewrite then
@@ -180,7 +229,7 @@ let plan_raw ?trace ?budget t ~cat ~epoch ~mvs g =
             (Printf.sprintf "degraded: %s"
                (Govern.Budget.reason_name (Option.get degraded)))
       end;
-      { (report_of g fp ~hit:false ~errors:(List.rev !errors) e) with
+      { (report_of g fp ~hit:false ~errors:(List.rev !errors) ~validated e) with
         pr_degraded = degraded }
 
 let base_report g ~errors ~degraded =
@@ -194,6 +243,7 @@ let base_report g ~errors ~degraded =
     pr_quarantined = 0;
     pr_errors = errors;
     pr_degraded = degraded;
+    pr_validated = 0;
   }
 
 let plan ?trace ?budget t ~cat ~epoch ~mvs g =

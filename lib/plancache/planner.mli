@@ -34,6 +34,9 @@ type report = {
       (** when set, the resource budget ran out mid-planning: the decision
           is best-so-far (possibly the base plan), was {e not} cached, and
           a re-plan under an adequate budget will try again *)
+  pr_validated : int;
+      (** static-validator runs during this planning (candidates plus the
+          final plan, per the ASTQL_VALIDATE level; 0 on a hit) *)
 }
 (** On a cache hit, [pr_attempted]/[pr_filtered]/[pr_quarantined] report
     the counts from the planning that produced the entry (nothing was

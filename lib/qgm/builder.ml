@@ -1,6 +1,13 @@
 exception Sem_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Sem_error s)) fmt
+
+(* Re-raise semantic errors from a nested block prefixed with the subquery
+   it happened in, so "unknown column" names the right scope; nesting
+   chains the contexts outermost-first. *)
+let in_context ctx f =
+  try f () with Sem_error m -> err "in %s: %s" ctx m
+
 let norm = String.lowercase_ascii
 
 module A = Sqlsyn.Ast
@@ -131,7 +138,9 @@ let rec resolve r (e : A.expr) : Box.qref Expr.t =
         ( List.map (fun (c, v) -> (resolve r c, resolve r v)) arms,
           Option.map (resolve r) els )
   | A.Scalar_sub q ->
-      let sub_root = build_block r.st q ~top:false in
+      let sub_root =
+        in_context "scalar subquery" (fun () -> build_block r.st q ~top:false)
+      in
       let cols = Box.output_cols (Graph.box r.st.g sub_root) in
       let col =
         match cols with
@@ -253,7 +262,11 @@ and build_plain_block st (q : A.query) ~top : Box.box_id =
             let quant = new_quant st id Box.Foreach in
             { b_name = Option.value ~default:t alias; b_quant = quant; b_cols = cols }
         | A.From_sub (sub, alias) ->
-            let sub_root = build_block st sub ~top:false in
+            let sub_root =
+              in_context
+                (Printf.sprintf "subquery %s" alias)
+                (fun () -> build_block st sub ~top:false)
+            in
             let cols = Box.output_cols (Graph.box st.g sub_root) in
             let quant = new_quant st sub_root Box.Foreach in
             { b_name = alias; b_quant = quant; b_cols = cols })

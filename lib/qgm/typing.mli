@@ -5,3 +5,13 @@
     numerics and to [Tstr] when nothing better is known. *)
 
 val infer_outputs : Catalog.t -> Graph.t -> (string * Data.Value.ty) list
+
+(** Type of one output column of a box. Lenient: unknown tables, columns
+    or boxes come back as [Tstr]. *)
+val col_type : Catalog.t -> Graph.t -> Box.box_id -> string -> Data.Value.ty
+
+(** Type of an expression evaluated in a box that declares [quants].
+    Same leniency as {!col_type}; used by the static validator to flag
+    predicates that are definitely non-boolean. *)
+val expr_type :
+  Catalog.t -> Graph.t -> Box.quant list -> Box.qref Expr.t -> Data.Value.ty

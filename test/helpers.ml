@@ -76,10 +76,19 @@ let match_sql cat ~query ~ast =
 
 (* Full pipeline on a db: materialize the AST, rewrite, execute both ways.
    Returns (rewritten?, results_equal). *)
+(* Every graph this harness touches must satisfy the static validator —
+   builder outputs and every rewrite the navigator accepts. *)
+let assert_well_formed ~what cat g =
+  match Lint.Validate.check ~cat g with
+  | [] -> ()
+  | vs -> Alcotest.failf "%s fails validation: %s" what (Lint.Validate.summary vs)
+
 let rewrite_check ?(mv_name = "mv0") db ~query ~ast =
   let cat = Engine.Db.catalog db in
   let qg = build cat query in
   let ag = build cat ast in
+  assert_well_formed ~what:"builder output (query)" cat qg;
+  assert_well_formed ~what:"builder output (ast)" cat ag;
   let mv_rel = Engine.Exec.run db ag in
   let cols = Qgm.Typing.infer_outputs cat ag in
   let cat2 =
@@ -112,6 +121,7 @@ let rewrite_check ?(mv_name = "mv0") db ~query ~ast =
               ~result:site_result ~mv_table:mv_name ~mv_cols
           in
           assert (Qgm.Graph.validate g' = []);
+          assert_well_formed ~what:"rewritten plan" cat2 g';
           R.bag_equal_approx orig (Engine.Exec.run db g'))
         sites
     in

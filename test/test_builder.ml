@@ -131,6 +131,34 @@ let test_resolution_errors () =
     "select k from fact where v = (select v from dims where id = k)"
     (* correlated: inner k unresolvable *)
 
+(* An unknown column inside a subquery must be reported with the subquery's
+   name, not as a bare top-level error — the context chains for nesting. *)
+let test_subquery_error_context () =
+  let expect_ctx sql fragment =
+    match build sql with
+    | exception Qgm.Builder.Sem_error m ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S (got %S)" sql fragment m)
+          true (contains m fragment)
+    | _ -> Alcotest.fail ("should be rejected: " ^ sql)
+  in
+  expect_ctx "select a from (select ghost as a from fact) as sub"
+    "in subquery sub";
+  expect_ctx "select k from fact where v = (select ghost from dims)"
+    "in scalar subquery";
+  (* correlated reference: the outer column is unresolvable inside *)
+  expect_ctx "select k from fact where v = (select v from dims where id = k)"
+    "in scalar subquery";
+  (* nested: contexts chain outermost-first *)
+  expect_ctx
+    "select a from (select (select ghost from dims) as a from fact) as outr"
+    "in subquery outr: in scalar subquery"
+
 let test_ambiguous_column () =
   (* both tables expose no common column in tiny schema; build one *)
   match
@@ -165,6 +193,8 @@ let suite =
     Alcotest.test_case "canonical supergroups" `Quick test_canonical_supergroups;
     Alcotest.test_case "scalar subquery" `Quick test_scalar_subquery;
     Alcotest.test_case "resolution errors" `Quick test_resolution_errors;
+    Alcotest.test_case "subquery error context" `Quick
+      test_subquery_error_context;
     Alcotest.test_case "ambiguous column" `Quick test_ambiguous_column;
     Alcotest.test_case "order by forms" `Quick test_order_by_forms;
     Alcotest.test_case "base box sharing" `Quick test_base_box_shared;

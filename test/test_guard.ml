@@ -269,6 +269,11 @@ let test_injection_matrix () =
    (resurrect) the observation recorded against the old one *)
 let test_quarantine_not_resurrected_by_recreate () =
   with_clean_faults @@ fun () ->
+  (* pin validation off: this test is about the *runtime* verify oracle
+     catching the corruption; at ASTQL_VALIDATE=2 the Corrupt fault would
+     strike at plan time and be caught statically instead (covered by
+     test_lint.ml) *)
+  Lint.Level.with_level Lint.Level.Off @@ fun () ->
   let sn, plain, both = grouped_pair ~verify:Sess.Always () in
   let q = "SELECT g, SUM(v) AS s FROM t GROUP BY g" in
   F.arm F.Corrupt ~after:1;
@@ -330,6 +335,8 @@ let test_other_ast_still_tried () =
 
 let test_verify_catches_corruption () =
   with_clean_faults @@ fun () ->
+  (* runtime-oracle path: see test_quarantine_not_resurrected_by_recreate *)
+  Lint.Level.with_level Lint.Level.Off @@ fun () ->
   let sn, plain, both = grouped_pair ~verify:Sess.Always () in
   let q = "SELECT g, SUM(v) AS s FROM t GROUP BY g" in
   F.arm F.Corrupt ~after:1;

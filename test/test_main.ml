@@ -19,6 +19,7 @@ let () =
       ("store", Test_store.suite);
       ("session", Test_session.suite);
       ("advisor", Test_advisor.suite);
+      ("lint", Test_lint.suite);
       ("random-rewrites", Test_random_rewrites.suite);
       ("differential", Test_differential.suite);
       ("distinct-group", Test_distinct_group.suite);

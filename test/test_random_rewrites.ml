@@ -150,6 +150,36 @@ let prop_independent =
     (QCheck.make ~print:print_pair gen_independent)
     sound
 
+(* Expr.normalize is idempotent on every expression the generated grammar
+   elaborates to — predicates and output expressions of every box.  The
+   matcher compares normal forms, so a second normalize changing anything
+   would mean two passes disagree on equality. *)
+let graph_exprs g =
+  let module B = Qgm.Box in
+  let module G = Qgm.Graph in
+  List.concat_map
+    (fun id ->
+      match (G.box g id).B.body with
+      | B.Select s -> s.B.sel_preds @ List.map snd s.B.sel_outs
+      | B.Base _ | B.Group _ | B.Union _ -> [])
+    (G.reachable g (G.root g))
+
+let prop_normalize_idempotent =
+  let gen =
+    QCheck.Gen.(gen_spec >|= spec_to_sql)
+  in
+  QCheck.Test.make ~name:"Expr.normalize idempotent on generated exprs"
+    ~count:200
+    (QCheck.make ~print:(fun sql -> sql) gen)
+    (fun sql ->
+      let db = Lazy.force star_db in
+      let g = build (Engine.Db.catalog db) sql in
+      List.for_all
+        (fun e ->
+          let n = Qgm.Expr.normalize e in
+          Qgm.Expr.normalize n = n)
+        (graph_exprs g))
+
 (* sanity: the related sampler does produce a healthy number of matches *)
 let test_match_rate () =
   let db = Lazy.force star_db in
@@ -168,5 +198,6 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_related;
     QCheck_alcotest.to_alcotest prop_independent;
+    QCheck_alcotest.to_alcotest prop_normalize_idempotent;
     Alcotest.test_case "related sampler match rate" `Quick test_match_rate;
   ]
