@@ -388,9 +388,10 @@ let fault_arg =
   let doc =
     "Arm deterministic fault-injection points (testing): comma-separated \
      $(i,point)[:$(i,N)] where point is navigate, match, compensate, \
-     translate, corrupt, refresh or delay — the Nth hit of that point \
-     fails (default 1; $(b,delay) instead stalls every hit from the Nth \
-     on, for exercising deadlines)."
+     translate, corrupt, refresh, delay or accept — the Nth hit of that \
+     point fails (default 1; $(b,delay) instead stalls every hit from the \
+     Nth on, for exercising deadlines; $(b,accept) crashes a server \
+     connection handler, for exercising containment)."
   in
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
 
@@ -623,9 +624,112 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ strict_flag $ files_arg)
 
+(* --- connect: remote shell over the wire protocol ----------------------- *)
+
+let print_wire_outcome = function
+  | Server.Wire.Msg m -> print_endline m
+  | Server.Wire.Plan p -> print_string p
+  | Server.Wire.Table (cols, rows) ->
+      print_endline (Data.Relation.to_string (Data.Relation.create cols rows))
+
+(* Send one script to the server; print outcomes or the typed error.
+   Returns false when the request failed. *)
+let remote_exec client sql =
+  match Server.Client.request client sql with
+  | Ok r ->
+      List.iter print_wire_outcome r.Server.Wire.rp_results;
+      true
+  | Error e ->
+      Printf.printf "error: %s\n" (Server.Wire.error_to_string e);
+      false
+
+(* The remote REPL reuses the local shell's read-accumulate-until-';'
+   loop, but each complete buffer travels the wire instead of hitting a
+   local session. A typed error never kills the shell. *)
+let remote_repl client =
+  print_endline
+    "astql — connected; type SQL statements ending with ';'  (\\q to quit)";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "astql> " else "   ...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if trimmed = "\\q" || trimmed = "quit" then ()
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if String.contains line ';' then begin
+            let text = Buffer.contents buf in
+            Buffer.clear buf;
+            match remote_exec client text with
+            | (_ : bool) -> ()
+            | exception End_of_file ->
+                print_endline "server closed the connection";
+                raise Exit
+          end;
+          loop ()
+        end
+  in
+  (try loop () with Exit -> ());
+  Server.Client.close client
+
+let connect_cmd =
+  let doc =
+    "Connect to a running astql-server: an interactive remote shell, or \
+     non-interactive execution of $(b,--execute) SQL and script FILEs \
+     (exits non-zero if any request failed)."
+  in
+  let addr_pos =
+    let doc = "Server address: $(i,HOST:PORT) or a Unix-socket path." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR" ~doc)
+  in
+  let exec_arg =
+    let doc = "Execute $(docv) remotely and exit." in
+    Arg.(value & opt (some string) None & info [ "e"; "execute" ] ~docv:"SQL" ~doc)
+  in
+  let conn_files =
+    Arg.(value & pos_right 0 non_dir_file [] & info [] ~docv:"FILE")
+  in
+  let run addr sql files =
+    let client =
+      try Server.Client.connect addr
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "cannot connect to %s: %s\n" addr
+            (Unix.error_message e);
+          Stdlib.exit 1
+      | Failure m ->
+          Printf.eprintf "cannot connect to %s: %s\n" addr m;
+          Stdlib.exit 1
+    in
+    let scripts =
+      (match sql with Some s -> [ s ] | None -> [])
+      @ List.map
+          (fun f -> In_channel.with_open_text f In_channel.input_all)
+          files
+    in
+    if scripts = [] then remote_repl client
+    else begin
+      let ok =
+        try List.fold_left (fun ok s -> remote_exec client s && ok) true scripts
+        with End_of_file ->
+          Printf.eprintf "server closed the connection\n";
+          false
+      in
+      Server.Client.close client;
+      if not ok then Stdlib.exit 1
+    end
+  in
+  Cmd.v (Cmd.info "connect" ~doc)
+    Term.(const run $ addr_pos $ exec_arg $ conn_files)
+
 let () =
   let doc = "answering complex SQL queries using automatic summary tables" in
   let info = Cmd.info "astql" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; repl_cmd; demo_cmd; advise_cmd; lint_cmd ]))
+       (Cmd.group info
+          [ run_cmd; repl_cmd; demo_cmd; advise_cmd; lint_cmd; connect_cmd ]))

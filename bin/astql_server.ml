@@ -1,0 +1,222 @@
+(* astql-server — multi-core query serving over the line-JSON protocol.
+
+   One process owns the database; clients connect over a Unix or TCP
+   socket and speak one JSON request per line (see Server.Wire). Each
+   connection gets its own session bound to the shared snapshot state, a
+   bounded pool of OCaml 5 domains serves connections in parallel, and
+   overload is shed with a typed error instead of an unbounded queue.
+
+   The database starts empty unless preloaded: positional FILE arguments
+   are SQL scripts executed before serving begins; --demo loads the
+   paper's star schema. There is no persistence — this is a serving
+   harness for the rewriter, not a storage engine. *)
+
+let limits_of ~deadline_ms ~match_budget =
+  let module B = Govern.Budget in
+  let l = B.default_limits () in
+  let l =
+    match deadline_ms with
+    | None -> l
+    | Some ms -> { l with B.bl_deadline_ms = Some ms }
+  in
+  match match_budget with
+  | None -> l
+  | Some n -> { l with B.bl_matches = Some n }
+
+let arm_faults = function
+  | None -> ()
+  | Some spec -> (
+      match Guard.Fault.arm_spec spec with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "bad --fault spec: %s\n" m;
+          Stdlib.exit 2)
+
+let set_validate = function None -> () | Some l -> Lint.Level.set l
+
+let preload session file =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  match Mvstore.Session.exec_sql session text with
+  | _ -> ()
+  | exception Mvstore.Session.Session_error m ->
+      Printf.eprintf "%s: %s\n" file m;
+      Stdlib.exit 1
+
+let seed_session ~rewrite ~budget ~auto_maint ~demo ~scale files =
+  let session =
+    if demo then begin
+      let params = Workload.Star_schema.scaled scale in
+      let tables = Workload.Star_schema.generate params in
+      let session =
+        Mvstore.Session.of_tables ~rewrite ~budget ~auto_maint
+          (Workload.Star_schema.catalog ()) tables
+      in
+      Printf.eprintf "loaded star schema (%d transactions)\n%!"
+        (Data.Relation.cardinality (List.assoc "Trans" tables));
+      session
+    end
+    else Mvstore.Session.create ~rewrite ~budget ~auto_maint ()
+  in
+  List.iter (preload session) files;
+  session
+
+let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
+    match_budget validate fault metrics_out demo scale files =
+  arm_faults fault;
+  set_validate validate;
+  let rewrite = not no_rewrite in
+  let budget = limits_of ~deadline_ms ~match_budget in
+  let cf_addr =
+    match Server.Listener.parse_addr addr with
+    | Ok a -> a
+    | Error m ->
+        Printf.eprintf "bad --addr %S: %s\n" addr m;
+        Stdlib.exit 2
+  in
+  let seed = seed_session ~rewrite ~budget ~auto_maint ~demo ~scale files in
+  let shared = Mvstore.Session.share seed in
+  let srv =
+    match
+      Server.Listener.start
+        {
+          Server.Listener.cf_addr;
+          cf_domains = domains;
+          cf_queue_depth = queue_depth;
+          cf_backlog = backlog;
+        }
+        ~mk_session:(fun () ->
+          Mvstore.Session.attach ~rewrite ~budget ~auto_maint shared)
+    with
+    | srv -> srv
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot listen on %s: %s\n" addr
+          (Unix.error_message e);
+        Stdlib.exit 1
+  in
+  let bound =
+    match (cf_addr, Server.Listener.port srv) with
+    | Server.Listener.Tcp (h, _), Some p -> Printf.sprintf "%s:%d" h p
+    | _ -> Server.Listener.addr_to_string cf_addr
+  in
+  Printf.eprintf
+    "astql-server listening on %s (%d domain%s, queue depth %d)\n%!" bound
+    domains
+    (if domains = 1 then "" else "s")
+    queue_depth;
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_requested) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Printf.eprintf "astql-server: shutting down\n%!";
+  Server.Listener.stop srv;
+  match metrics_out with
+  | None -> ()
+  | Some path -> (
+      try Obs.Metrics.dump path
+      with Sys_error m -> Printf.eprintf "cannot write metrics: %s\n" m)
+
+open Cmdliner
+
+let addr_arg =
+  let doc =
+    "Listen address: $(i,HOST:PORT) for TCP (port 0 picks an ephemeral \
+     port, printed on stderr) or a filesystem path for a Unix-domain \
+     socket."
+  in
+  let env = Cmd.Env.info "ASTQL_ADDR" ~doc:"Default listen address." in
+  Arg.(
+    value & opt string "127.0.0.1:7433" & info [ "a"; "addr" ] ~env ~docv:"ADDR" ~doc)
+
+let domains_arg =
+  let doc = "Worker domains serving connections in parallel." in
+  let env = Cmd.Env.info "ASTQL_DOMAINS" ~doc:"Default worker domain count." in
+  Arg.(value & opt int 4 & info [ "domains" ] ~env ~docv:"N" ~doc)
+
+let queue_depth_arg =
+  let doc =
+    "Accepted connections waiting for a worker beyond this are refused \
+     with a typed $(b,overloaded) error — backpressure is explicit, the \
+     queue never grows without bound."
+  in
+  let env = Cmd.Env.info "ASTQL_QUEUE_DEPTH" ~doc:"Default waiting-queue depth." in
+  Arg.(value & opt int 64 & info [ "queue-depth" ] ~env ~docv:"N" ~doc)
+
+let backlog_arg =
+  let doc = "listen(2) backlog for connection bursts." in
+  Arg.(value & opt int 64 & info [ "backlog" ] ~docv:"N" ~doc)
+
+let no_rewrite_flag =
+  let doc = "Disable transparent summary-table rewriting." in
+  Arg.(value & flag & info [ "no-rewrite" ] ~doc)
+
+let auto_maint_flag =
+  let doc =
+    "Self-healing maintenance: auto-refresh summary tables that DML left \
+     stale, at statement boundaries."
+  in
+  Arg.(value & flag & info [ "auto-maint" ] ~doc)
+
+let deadline_arg =
+  let doc = "Per-statement wall-clock deadline in milliseconds." in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let match_budget_arg =
+  let doc = "Per-statement cap on match-function invocations." in
+  Arg.(value & opt (some int) None & info [ "match-budget" ] ~docv:"N" ~doc)
+
+let validate_conv =
+  let parse s =
+    match Lint.Level.of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg "expected 0|off, 1|final-plan, or 2|every-candidate")
+  in
+  let print fmt l = Format.pp_print_string fmt (Lint.Level.to_string l) in
+  Arg.conv (parse, print)
+
+let validate_arg =
+  let doc = "Static IR validation level (see astql --help)." in
+  Arg.(
+    value
+    & opt (some validate_conv) None
+    & info [ "validate" ] ~docv:"LEVEL" ~doc)
+
+let fault_arg =
+  let doc =
+    "Arm deterministic fault-injection points (testing): comma-separated \
+     $(i,point)[:$(i,N)] — point names include $(b,accept), which crashes \
+     the Nth accepted connection's handler to exercise containment."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the metrics registry (including the $(b,server.*) serving \
+     metrics) to $(docv) as JSON on shutdown."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let demo_flag =
+  let doc = "Preload the paper's star schema and generated data." in
+  Arg.(value & flag & info [ "demo" ] ~doc)
+
+let scale_arg =
+  let doc = "Demo data scale factor." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc)
+
+let files_arg =
+  Arg.(value & pos_all non_dir_file [] & info [] ~docv:"FILE")
+
+let () =
+  let doc = "serve astql over a socket with a pool of domains" in
+  let info = Cmd.info "astql-server" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const serve $ addr_arg $ domains_arg $ queue_depth_arg
+            $ backlog_arg $ no_rewrite_flag $ auto_maint_flag $ deadline_arg
+            $ match_budget_arg $ validate_arg $ fault_arg $ metrics_out_arg
+            $ demo_flag $ scale_arg $ files_arg)))

@@ -172,10 +172,11 @@ let extras_lossless (ctx : Mctx.t) (r_sel : B.select_body)
 
 (* Instrumentation: every match_boxes invocation (memo hits included) ticks
    this counter. Tests and the bench read it to prove that a plan served
-   from a warm cache performs no matching work at all. *)
-let calls = ref 0
-let match_count () = !calls
-let reset_match_count () = calls := 0
+   from a warm cache performs no matching work at all. Atomic because
+   server domains plan in parallel against the same process-wide count. *)
+let calls = Atomic.make 0
+let match_count () = Atomic.get calls
+let reset_match_count () = Atomic.set calls 0
 
 let m_calls = Obs.Metrics.counter "match.calls"
 let m_memo_hits = Obs.Metrics.counter "match.memo_hits"
@@ -199,7 +200,7 @@ let pattern ctx label =
   Obs.Trace.event ctx.Mctx.trace ~kind:"pattern" ~label
 
 let rec match_boxes (ctx : Mctx.t) e_id r_id =
-  incr calls;
+  ignore (Atomic.fetch_and_add calls 1);
   Obs.Metrics.incr m_calls;
   Guard.Fault.hit Guard.Fault.Match;
   Guard.Fault.maybe_delay ();

@@ -16,6 +16,7 @@ type stage =
   | Execute
   | Verify
   | Refresh
+  | Accept
 
 type kind =
   | Injected                 (* Fault.Injected: deterministic test fault *)
@@ -47,6 +48,7 @@ let stage_name = function
   | Execute -> "execute"
   | Verify -> "verify"
   | Refresh -> "refresh"
+  | Accept -> "accept"
 
 let stage_of_point = function
   | Fault.Navigate -> Navigate
@@ -56,6 +58,7 @@ let stage_of_point = function
   | Fault.Corrupt -> Verify
   | Fault.Refresh -> Refresh
   | Fault.Delay -> Match
+  | Fault.Accept -> Accept
 
 let kind_name = function
   | Injected -> "injected fault"

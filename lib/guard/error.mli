@@ -15,6 +15,7 @@ type stage =
   | Execute      (** executing the rewritten plan *)
   | Verify       (** runtime result verification *)
   | Refresh      (** summary-table maintenance (auto or manual refresh) *)
+  | Accept       (** server connection accept/handler path *)
 
 type kind =
   | Injected              (** {!Fault.Injected}: deterministic test fault *)

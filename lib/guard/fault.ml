@@ -16,6 +16,7 @@ type point =
   | Corrupt
   | Refresh
   | Delay
+  | Accept
 
 exception Injected of point
 
@@ -27,9 +28,10 @@ let point_name = function
   | Corrupt -> "corrupt"
   | Refresh -> "refresh"
   | Delay -> "delay"
+  | Accept -> "accept"
 
 let all_points =
-  [ Navigate; Match; Compensate; Translate; Corrupt; Refresh; Delay ]
+  [ Navigate; Match; Compensate; Translate; Corrupt; Refresh; Delay; Accept ]
 
 let idx = function
   | Navigate -> 0
@@ -39,9 +41,10 @@ let idx = function
   | Corrupt -> 4
   | Refresh -> 5
   | Delay -> 6
+  | Accept -> 7
 
 (* remaining hits before the point fires; None = disarmed *)
-let countdown : int option array = Array.make 7 None
+let countdown : int option array = Array.make 8 None
 
 let arm p ~after =
   if after <= 0 then invalid_arg "Fault.arm: after must be positive";

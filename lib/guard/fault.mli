@@ -17,6 +17,7 @@ type point =
   | Corrupt      (** result corruption under verification (via {!fire}) *)
   | Refresh      (** summary-table refresh (maintenance path) *)
   | Delay        (** stall at the match site (via {!maybe_delay}) *)
+  | Accept       (** server connection accept/handler path *)
 
 exception Injected of point
 
@@ -40,7 +41,7 @@ val hit : point -> unit
 
 (** Parse and arm a spec like ["match:3,compensate"] (missing count = 1).
     Point names: navigate, match, compensate, translate, corrupt, refresh,
-    delay. *)
+    delay, accept. *)
 val arm_spec : string -> (unit, string) result
 
 (** How long a fired [Delay] point stalls (default 10 ms). *)

@@ -12,6 +12,10 @@ type verify = Off | Sampled of float | Always
 type t = {
   mutable sdb : Engine.Db.t;
   mutable sstore : Store.t;
+  mutable sshared : Shared.t option;
+      (* when set, [sdb]/[sstore] are a per-statement cache of the shared
+         snapshot: refreshed at statement entry, published (atomically,
+         under the writer lock) only by mutating statements *)
   mutable srewrite : bool;
   mutable sverify : verify;
   mutable sverify_acc : float;  (* deterministic sampling accumulator *)
@@ -31,6 +35,7 @@ let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
   {
     sdb = Engine.Db.create Catalog.empty;
     sstore = Store.empty;
+    sshared = None;
     srewrite = rewrite;
     sverify = verify;
     sverify_acc = 0.;
@@ -51,6 +56,7 @@ let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
   {
     sdb = Engine.Db.of_tables cat tables;
     sstore = Store.empty;
+    sshared = None;
     srewrite = rewrite;
     sverify = verify;
     sverify_acc = 0.;
@@ -66,7 +72,59 @@ let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
     smaint = Maint.create ();
   }
 
+(* ---------------- shared-state binding ---------------- *)
+
+(* A session bound to a Shared.t reads (db, store) as one consistent
+   snapshot at statement entry and publishes — atomically, under the
+   single writer lock — only from mutating statements. The session object
+   itself stays single-threaded (one connection, one domain); parallelism
+   comes from many sessions over one Shared.t. *)
+
+let attach ?(rewrite = true) ?plan_capacity ?(verify = Off)
+    ?(verify_oracle = false) ?budget ?(auto_maint = false) shared =
+  let snap = Shared.snapshot shared in
+  let t =
+    create ~rewrite ?plan_capacity ~verify ~verify_oracle ?budget ~auto_maint
+      ()
+  in
+  t.sdb <- snap.Shared.sn_db;
+  t.sstore <- snap.Shared.sn_store;
+  t.sshared <- Some shared;
+  t
+
+let share t =
+  match t.sshared with
+  | Some sh -> sh
+  | None ->
+      let sh = Shared.create t.sdb t.sstore in
+      t.sshared <- Some sh;
+      sh
+
+let shared t = t.sshared
+
+(* Run one statement's body against the right state. Reads take a lock-free
+   snapshot; writes serialize on the shared writer lock and publish the
+   session's (db, store) as one new snapshot — or, if the body raises,
+   publish nothing, so a failed statement rolls back wholesale. *)
+let with_snapshot t ~write f =
+  match t.sshared with
+  | None -> f ()
+  | Some sh ->
+      if write then
+        Shared.with_write sh (fun snap ->
+            t.sdb <- snap.Shared.sn_db;
+            t.sstore <- snap.Shared.sn_store;
+            let r = f () in
+            ({ Shared.sn_db = t.sdb; sn_store = t.sstore }, r))
+      else begin
+        let snap = Shared.snapshot sh in
+        t.sdb <- snap.Shared.sn_db;
+        t.sstore <- snap.Shared.sn_store;
+        f ()
+      end
+
 let set_rewrite t b = t.srewrite <- b
+let rewrite_enabled t = t.srewrite
 let limits t = t.slimits
 let set_limits t l = t.slimits <- l
 let auto_maint t = t.sauto_maint
@@ -351,47 +409,51 @@ let m_exec_degraded = Obs.Metrics.counter "govern.exec_degraded"
    stale summary table under the session's maintenance budget. Failures are
    classified and backed off (quarantine after max retries); a refresh cut
    short by the budget is deferred to the next boundary without penalty. *)
+let drain_due t due =
+  let budget = budget_of_limits t.slimits in
+  List.iter
+    (fun name ->
+      match Store.find t.sstore name with
+      | None -> Maint.remove t.smaint name (* dropped meanwhile *)
+      | Some e when e.Store.e_fresh ->
+          Maint.remove t.smaint name (* refreshed manually meanwhile *)
+      | Some _ -> (
+          match
+            Guard.Sandbox.protect ~stage:Guard.Error.Refresh ~mv:name
+              (fun () -> Store.refresh_full ?budget t.sstore t.sdb name)
+          with
+          | exception Govern.Budget.Budget_exhausted _ ->
+              Obs.Metrics.incr m_maint_deferred;
+              Maint.defer t.smaint name
+          | Ok (store', db') ->
+              t.sstore <- store';
+              t.sdb <- db';
+              Obs.Metrics.incr m_auto_refreshes;
+              Maint.record_success t.smaint name
+          | Error err ->
+              Obs.Metrics.incr m_refresh_failures;
+              Printf.eprintf
+                "astrw maint: auto-refresh of %s failed (%s)\n%!" name
+                (Guard.Error.to_string err);
+              Maint.record_failure t.smaint name err;
+              if Maint.is_quarantined t.smaint name then begin
+                Obs.Metrics.incr m_maint_quarantined;
+                Printf.eprintf
+                  "astrw maint: %s quarantined after repeated refresh \
+                   failures; REFRESH or DROP it manually\n\
+                   %!"
+                  name
+              end))
+    due
+
+(* In shared mode the drain is a write: refreshed summaries must publish
+   atomically with the store that considers them fresh. *)
 let drain_maintenance t =
   if t.sauto_maint then begin
     Maint.tick t.smaint;
     match Maint.due t.smaint with
     | [] -> ()
-    | due ->
-        let budget = budget_of_limits t.slimits in
-        List.iter
-          (fun name ->
-            match Store.find t.sstore name with
-            | None -> Maint.remove t.smaint name (* dropped meanwhile *)
-            | Some e when e.Store.e_fresh ->
-                Maint.remove t.smaint name (* refreshed manually meanwhile *)
-            | Some _ -> (
-                match
-                  Guard.Sandbox.protect ~stage:Guard.Error.Refresh ~mv:name
-                    (fun () -> Store.refresh_full ?budget t.sstore t.sdb name)
-                with
-                | exception Govern.Budget.Budget_exhausted _ ->
-                    Obs.Metrics.incr m_maint_deferred;
-                    Maint.defer t.smaint name
-                | Ok (store', db') ->
-                    t.sstore <- store';
-                    t.sdb <- db';
-                    Obs.Metrics.incr m_auto_refreshes;
-                    Maint.record_success t.smaint name
-                | Error err ->
-                    Obs.Metrics.incr m_refresh_failures;
-                    Printf.eprintf
-                      "astrw maint: auto-refresh of %s failed (%s)\n%!" name
-                      (Guard.Error.to_string err);
-                    Maint.record_failure t.smaint name err;
-                    if Maint.is_quarantined t.smaint name then begin
-                      Obs.Metrics.incr m_maint_quarantined;
-                      Printf.eprintf
-                        "astrw maint: %s quarantined after repeated refresh \
-                         failures; REFRESH or DROP it manually\n\
-                         %!"
-                        name
-                    end))
-          due
+    | due -> with_snapshot t ~write:true (fun () -> drain_due t due)
   end
 
 (* Deterministic sampling: verify whenever the accumulated rate crosses an
@@ -502,13 +564,14 @@ let run_query_routed ?budget t g =
 let run_query ?limits t q =
   drain_maintenance t;
   let limits = Option.value ~default:t.slimits limits in
-  try
-    let g = build_query t q in
-    if not t.srewrite then run_query_unrewritten t g
-    else run_query_routed ?budget:(budget_of_limits limits) t g
-  with Division_by_zero -> err "division by zero in SELECT"
+  with_snapshot t ~write:false (fun () ->
+      try
+        let g = build_query t q in
+        if not t.srewrite then run_query_unrewritten t g
+        else run_query_routed ?budget:(budget_of_limits limits) t g
+      with Division_by_zero -> err "division by zero in SELECT")
 
-let explain ?(verbose = false) t q =
+let explain_in_snapshot ?(verbose = false) t q =
   let g = build_query t q in
   let cat = Engine.Db.catalog t.sdb in
   let buf = Buffer.create 256 in
@@ -623,6 +686,9 @@ let explain ?(verbose = false) t q =
       end);
   Buffer.contents buf
 
+let explain ?verbose t q =
+  with_snapshot t ~write:false (fun () -> explain_in_snapshot ?verbose t q)
+
 (* ---------------- statements ---------------- *)
 
 (* Definition-time lint of one stored summary against the rest of the
@@ -718,13 +784,24 @@ let exec_stmt_dispatch t stmt =
       in
       Plan (Astmatch.Cost.explain cat g)
 
+(* Statement classification for the shared-state discipline: mutating
+   statements serialize through the writer lock and publish atomically;
+   everything else runs against a lock-free snapshot. *)
+let stmt_writes = function
+  | A.Create_table _ | A.Insert _ | A.Delete _ | A.Copy_from _
+  | A.Create_summary _ | A.Drop_summary _ | A.Refresh_summary _ ->
+      true
+  | A.Copy_to _ | A.Select _ | A.Explain_rewrite _ | A.Explain_plan _ ->
+      false
+
 (* Division_by_zero is a raw OCaml exception wherever the engine evaluates
    expressions (constant folding, INSERT values, predicates, outputs);
    surface it as a proper session error with statement context. *)
 let exec_stmt t stmt =
   drain_maintenance t;
-  try exec_stmt_dispatch t stmt
-  with Division_by_zero -> err "division by zero in %s" (stmt_label stmt)
+  with_snapshot t ~write:(stmt_writes stmt) (fun () ->
+      try exec_stmt_dispatch t stmt
+      with Division_by_zero -> err "division by zero in %s" (stmt_label stmt))
 
 let exec_sql t sql =
   (* statement-at-a-time: statements before a syntax error have executed

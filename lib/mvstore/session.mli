@@ -54,7 +54,38 @@ val of_tables :
   (string * Data.Relation.t) list ->
   t
 
+(** [attach shared] creates a session bound to {!Shared} database state, so
+    many sessions — typically one per server connection, running on
+    different domains — serve the same catalog. In shared mode every
+    statement runs against a consistent copy-on-write snapshot: reads take
+    one atomic load and never block; mutating statements serialize through
+    the shared writer lock and publish atomically (a failed write publishes
+    nothing). The session object itself is {e not} thread-safe — use it
+    from one domain at a time; the cross-domain safety lives entirely in
+    {!Shared}. Planner, plan cache and quarantine stay per-session
+    (epoch-keyed, so they self-invalidate when another session publishes a
+    write). *)
+val attach :
+  ?rewrite:bool ->
+  ?plan_capacity:int ->
+  ?verify:verify ->
+  ?verify_oracle:bool ->
+  ?budget:Govern.Budget.limits ->
+  ?auto_maint:bool ->
+  Shared.t ->
+  t
+
+(** [share t] returns the session's shared state, promoting a private
+    session to shared mode first if needed (its current db/store become the
+    initial snapshot). Subsequent {!attach}es to the result serve the same
+    data. *)
+val share : t -> Shared.t
+
+(** The shared state this session is bound to, if any. *)
+val shared : t -> Shared.t option
+
 val set_rewrite : t -> bool -> unit
+val rewrite_enabled : t -> bool
 val set_verify : t -> verify -> unit
 
 (** The session's default per-statement resource limits (admission

@@ -1,0 +1,43 @@
+(* Shared database state: an atomic snapshot cell plus one writer mutex.
+
+   The whole concurrency story hangs on Db.t and Store.t being functional:
+   a snapshot is just a pair of pointers, so readers pay one Atomic.get
+   and writers publish with one Atomic.set under the lock. The store epoch
+   inside the snapshot is what ties this to the rest of the system — every
+   plan-cache entry and quarantine observation is stamped with it, so
+   sessions on other domains notice a published write the moment they plan
+   against the new snapshot. *)
+
+type snapshot = { sn_db : Engine.Db.t; sn_store : Store.t }
+
+type t = {
+  state : snapshot Atomic.t;
+  write_lock : Mutex.t;
+  writes : int Atomic.t;
+}
+
+let m_writes = Obs.Metrics.counter "shared.writes"
+let m_snapshots = Obs.Metrics.counter "shared.snapshot_reads"
+
+let create db store =
+  {
+    state = Atomic.make { sn_db = db; sn_store = store };
+    write_lock = Mutex.create ();
+    writes = Atomic.make 0;
+  }
+
+let snapshot t =
+  Obs.Metrics.incr m_snapshots;
+  Atomic.get t.state
+
+let epoch t = Store.epoch (Atomic.get t.state).sn_store
+
+let with_write t f =
+  Mutex.protect t.write_lock (fun () ->
+      let snap, r = f (Atomic.get t.state) in
+      Atomic.set t.state snap;
+      ignore (Atomic.fetch_and_add t.writes 1);
+      Obs.Metrics.incr m_writes;
+      r)
+
+let writes t = Atomic.get t.writes

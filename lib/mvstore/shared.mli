@@ -1,0 +1,48 @@
+(** Concurrency-safe shared database state for multi-session serving.
+
+    A {!t} owns the canonical pair (engine database, summary-table store) as
+    one immutable {!snapshot} behind an atomic cell. Because {!Engine.Db}
+    and {!Store} are functional values, publishing a new snapshot is a
+    single atomic pointer store — copy-on-write at the statement
+    granularity:
+
+    - {e Readers} ({!snapshot}) take the current pair with one atomic load
+      and never block, never lock, and never observe a half-applied
+      statement: a DML statement's base-table change and its incremental
+      summary maintenance land in the {e same} snapshot or not at all.
+      The {!Store.epoch} of the pair they got identifies exactly which
+      version of the world they are planning against (the plan caches are
+      keyed by it already).
+    - {e Writers} ({!with_write}) serialize on one mutex, transform the
+      latest snapshot, and publish the result atomically. Every mutating
+      path already bumps the store epoch ({!Store.apply_insert},
+      {!Store.define}, {!Store.touch}, ...), so a published write
+      invalidates stale cached plans in every session. A writer that
+      raises publishes {e nothing} — the failed statement rolls back
+      wholesale.
+
+    Sessions bind to a [t] with {!Session.attach} (or convert with
+    {!Session.share}); each session keeps its own planner, plan cache and
+    quarantine (domain-local, epoch-keyed), so the only cross-domain
+    mutable state is this snapshot cell plus the atomic metrics
+    registry. *)
+
+type snapshot = { sn_db : Engine.Db.t; sn_store : Store.t }
+
+type t
+
+val create : Engine.Db.t -> Store.t -> t
+
+(** One atomic load: a consistent (db, store) pair. *)
+val snapshot : t -> snapshot
+
+(** The {!Store.epoch} of the current snapshot. *)
+val epoch : t -> int
+
+(** [with_write t f] runs [f] on the latest snapshot with the writer lock
+    held and atomically publishes the snapshot [f] returns. If [f] raises,
+    nothing is published and the exception propagates. *)
+val with_write : t -> (snapshot -> snapshot * 'a) -> 'a
+
+(** Serialized writes published so far (monotonic; diagnostics). *)
+val writes : t -> int

@@ -4,8 +4,10 @@
    exactly the same code and schema conventions. *)
 
 type t =
+  | Null
   | Str of string
   | Num of float
+  | Float of float
   | Int of int
   | Bool of bool
   | List of t list
@@ -25,7 +27,18 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Full-precision float rendering (the wire protocol round-trips values);
+   always keeps a decimal point or exponent so a reader can tell a float
+   from an integer. *)
+let float_repr x =
+  if not (Float.is_finite x) then "null"
+  else
+    let s = Printf.sprintf "%.17g" x in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
 let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
   | Str s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape s);
@@ -33,6 +46,7 @@ let rec render buf = function
   | Num x ->
       Buffer.add_string buf
         (if Float.is_finite x then Printf.sprintf "%.4f" x else "null")
+  | Float x -> Buffer.add_string buf (float_repr x)
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | List xs ->
@@ -58,6 +72,223 @@ let to_string t =
   let buf = Buffer.create 256 in
   render buf t;
   Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* UTF-8 encode one code point into [buf]. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let next p =
+  match peek p with
+  | Some c ->
+      p.pos <- p.pos + 1;
+      c
+  | None -> parse_error "unexpected end of input at offset %d" p.pos
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        p.pos <- p.pos + 1;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect p c =
+  let got = next p in
+  if got <> c then
+    parse_error "expected '%c' but found '%c' at offset %d" c got (p.pos - 1)
+
+let literal p word v =
+  let n = String.length word in
+  if
+    p.pos + n <= String.length p.src && String.sub p.src p.pos n = word
+  then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else parse_error "invalid literal at offset %d" p.pos
+
+let hex4 p =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = next p in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> parse_error "bad \\u escape at offset %d" (p.pos - 1)
+    in
+    v := (!v * 16) + d
+  done;
+  !v
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next p with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        (match next p with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            let cp = hex4 p in
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              (* high surrogate: require the low half *)
+              expect p '\\';
+              expect p 'u';
+              let lo = hex4 p in
+              if lo < 0xDC00 || lo > 0xDFFF then
+                parse_error "unpaired surrogate at offset %d" p.pos
+              else
+                add_utf8 buf
+                  (0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00)))
+            end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then
+              parse_error "unpaired surrogate at offset %d" p.pos
+            else add_utf8 buf cp
+        | c -> parse_error "bad escape '\\%c' at offset %d" c (p.pos - 1));
+        loop ())
+    | c when Char.code c < 0x20 ->
+        parse_error "unescaped control character at offset %d" (p.pos - 1)
+    | c ->
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_float = ref false in
+  if peek p = Some '-' then ignore (next p);
+  let digits () =
+    let n = ref 0 in
+    while match peek p with Some '0' .. '9' -> true | _ -> false do
+      ignore (next p);
+      incr n
+    done;
+    if !n = 0 then parse_error "malformed number at offset %d" p.pos
+  in
+  digits ();
+  if peek p = Some '.' then begin
+    is_float := true;
+    ignore (next p);
+    digits ()
+  end;
+  (match peek p with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      ignore (next p);
+      (match peek p with
+      | Some ('+' | '-') -> ignore (next p)
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let s = String.sub p.src start (p.pos - start) in
+  if !is_float then Float (float_of_string s)
+  else
+    match int_of_string_opt s with
+    | Some n -> Int n
+    | None -> Float (float_of_string s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> parse_error "unexpected end of input at offset %d" p.pos
+  | Some '{' ->
+      ignore (next p);
+      skip_ws p;
+      if peek p = Some '}' then begin
+        ignore (next p);
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match next p with
+          | ',' -> fields ((k, v) :: acc)
+          | '}' -> Obj (List.rev ((k, v) :: acc))
+          | c -> parse_error "expected ',' or '}' but found '%c'" c
+        in
+        fields []
+  | Some '[' ->
+      ignore (next p);
+      skip_ws p;
+      if peek p = Some ']' then begin
+        ignore (next p);
+        List []
+      end
+      else
+        let rec elems acc =
+          let v = parse_value p in
+          skip_ws p;
+          match next p with
+          | ',' -> elems (v :: acc)
+          | ']' -> List (List.rev (v :: acc))
+          | c -> parse_error "expected ',' or ']' but found '%c'" c
+        in
+        elems []
+  | Some '"' -> Str (parse_string p)
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> parse_error "unexpected character '%c' at offset %d" c p.pos
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  match parse_value p with
+  | v ->
+      skip_ws p;
+      if p.pos < String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" p.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
 
 let to_file path t =
   let buf = Buffer.create 4096 in

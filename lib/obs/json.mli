@@ -4,8 +4,10 @@
     finite), strings are escaped, objects preserve field order. *)
 
 type t =
+  | Null
   | Str of string
-  | Num of float
+  | Num of float   (** fixed four-decimal rendering (bench/metrics schema) *)
+  | Float of float (** full-precision rendering (wire protocol round-trips) *)
   | Int of int
   | Bool of bool
   | List of t list
@@ -16,3 +18,14 @@ val to_string : t -> string
 
 (** Renders with a trailing newline. *)
 val to_file : string -> t -> unit
+
+(** Recursive-descent parser for the same value type (the server wire
+    protocol parses requests with it — no external JSON dependency).
+    Numbers without a fraction or exponent that fit in an OCaml [int]
+    parse as [Int]; all other numbers parse as [Float]. [\uXXXX] escapes
+    decode to UTF-8 (surrogate pairs included). Trailing garbage after
+    the top-level value is an error. *)
+val of_string : string -> (t, string) result
+
+(** Object-field lookup helper ([None] when not an object or absent). *)
+val member : string -> t -> t option

@@ -8,7 +8,12 @@
 
     The registry is deliberately global: the planning layers tick it
     unconditionally, so live sessions ([\metrics], [--metrics-out]) and the
-    bench harness ([BENCH_results.json]) report through one schema. *)
+    bench harness ([BENCH_results.json]) report through one schema.
+
+    Safe for concurrent writers: counters, gauges and histogram buckets are
+    atomic cells and interning/export is serialized on a registry mutex, so
+    parallel server domains never tear an update — N domains doing K
+    increments each always total N*K. *)
 
 type counter
 type gauge
@@ -23,6 +28,11 @@ val counter_value : counter -> int
 
 val gauge : string -> gauge
 val set : gauge -> float -> unit
+
+(** Atomic relative adjustment (e.g. active-connection counts: [+1.] on
+    accept, [-1.] on close, correct under concurrency). *)
+val gauge_add : gauge -> float -> unit
+
 val gauge_value : gauge -> float
 
 (** [bounds] are inclusive upper bucket bounds in milliseconds; the default

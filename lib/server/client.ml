@@ -1,0 +1,45 @@
+type t = { io : Lineio.t; mutable seq : int }
+
+let connect_sockaddr sa =
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa with e -> Unix.close fd; raise e);
+  { io = Lineio.make fd; seq = 0 }
+
+let connect_addr = function
+  | Listener.Unix_path p -> connect_sockaddr (Unix.ADDR_UNIX p)
+  | Listener.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith ("unknown host: " ^ host))
+      in
+      connect_sockaddr (Unix.ADDR_INET (inet, port))
+
+let connect s =
+  (* a dead server must not kill the client process on write *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Listener.parse_addr s with
+  | Ok addr -> connect_addr addr
+  | Error msg -> failwith msg
+
+let request t ?id ?rewrite sql =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+        t.seq <- t.seq + 1;
+        Obs.Json.Int t.seq
+  in
+  let rq = { Wire.rq_id = id; rq_sql = sql; rq_rewrite = rewrite } in
+  Lineio.write_line t.io (Obs.Json.to_string (Wire.request_to_json rq));
+  match Lineio.read_line t.io with
+  | None -> raise End_of_file
+  | Some line -> (
+      match Wire.response_of_line line with
+      | Ok (Wire.Reply r) -> Ok r
+      | Ok (Wire.Failed (_, e)) -> Error e
+      | Error msg -> failwith ("malformed response: " ^ msg))
+
+let close t = Lineio.close t.io

@@ -1,0 +1,25 @@
+(** Client side of the wire protocol: connect, send one request line,
+    read one response line.
+
+    A connection is not thread-safe (one outstanding request at a time);
+    that mirrors the server, which serves a connection's requests strictly
+    in order. Concurrent load wants one connection per thread/domain. *)
+
+type t
+
+(** [connect addr] — same address syntax as the server
+    ({!Listener.parse_addr}): ["host:port"] or a Unix-socket path.
+    Raises [Failure] on a bad address, [Unix.Unix_error] when the
+    connection is refused. *)
+val connect : string -> t
+
+val connect_addr : Listener.addr -> t
+
+(** [request t ?id ?rewrite sql] sends one request and blocks for its
+    response. [Ok reply] on success; [Error err] is the server's typed
+    error (including [overloaded]). Raises [End_of_file] if the server
+    hangs up without answering, [Failure] on a malformed response line. *)
+val request :
+  t -> ?id:Obs.Json.t -> ?rewrite:bool -> string -> (Wire.reply, Wire.error) result
+
+val close : t -> unit

@@ -1,0 +1,80 @@
+exception Line_too_long
+
+(* 8 MiB: far above any legitimate statement, far below memory trouble. *)
+let max_line_bytes = 8 * 1024 * 1024
+
+type t = {
+  t_fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable lo : int; (* unconsumed bytes are chunk.[lo..hi-1] *)
+  mutable hi : int;
+  mutable closed : bool;
+}
+
+let make fd = { t_fd = fd; chunk = Bytes.create 8192; lo = 0; hi = 0; closed = false }
+let fd t = t.t_fd
+
+let rec retry_read fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_read fd buf off len
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read_line t =
+  let acc = Buffer.create 128 in
+  let rec go () =
+    if t.lo >= t.hi then begin
+      let n = retry_read t.t_fd t.chunk 0 (Bytes.length t.chunk) in
+      if n = 0 then
+        if Buffer.length acc = 0 then None
+        else Some (strip_cr (Buffer.contents acc))
+      else begin
+        t.lo <- 0;
+        t.hi <- n;
+        go ()
+      end
+    end
+    else begin
+      let i = ref t.lo in
+      while !i < t.hi && Bytes.get t.chunk !i <> '\n' do
+        incr i
+      done;
+      Buffer.add_subbytes acc t.chunk t.lo (!i - t.lo);
+      if Buffer.length acc > max_line_bytes then raise Line_too_long;
+      if !i < t.hi then begin
+        t.lo <- !i + 1;
+        Some (strip_cr (Buffer.contents acc))
+      end
+      else begin
+        t.lo <- t.hi;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let write_all fd buf off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    match Unix.write fd buf !off !len with
+    | n ->
+        off := !off + n;
+        len := !len - n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_line t s =
+  let n = String.length s in
+  let b = Bytes.create (n + 1) in
+  Bytes.blit_string s 0 b 0 n;
+  Bytes.set b n '\n';
+  write_all t.t_fd b 0 (n + 1)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.t_fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,35 @@
+(** Line-delimited IO on raw file descriptors.
+
+    The wire protocol is one JSON value per line, so this is the only IO
+    primitive the server and client need. It works on raw [Unix.file_descr]
+    deliberately: wrapping a socket in a pair of buffered channels invites
+    double-close (and worse, close-after-reuse of the fd number) bugs —
+    here one [close] on the reader closes exactly one fd, once.
+
+    Reads are buffered; writes loop until every byte is out (handling short
+    writes and [EINTR]). Callers must ignore [SIGPIPE] process-wide (the
+    server and client entry points do); a peer that vanished then surfaces
+    as [Unix.Unix_error (EPIPE, _, _)] from {!write_line} instead of
+    killing the process. *)
+
+type t
+
+(** Raised by {!read_line} when a single line exceeds {!max_line_bytes} —
+    a malformed or hostile peer, not a legitimate request. *)
+exception Line_too_long
+
+val max_line_bytes : int
+
+val make : Unix.file_descr -> t
+val fd : t -> Unix.file_descr
+
+(** Next line without its ['\n'] (a trailing ['\r'] is also stripped, so
+    CRLF peers work). [None] on clean EOF; a final unterminated line is
+    returned as-is. *)
+val read_line : t -> string option
+
+(** Writes [s] plus ['\n'] fully. *)
+val write_line : t -> string -> unit
+
+(** Closes the underlying fd (idempotent). *)
+val close : t -> unit

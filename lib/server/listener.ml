@@ -1,0 +1,278 @@
+module J = Obs.Json
+
+let m_connections = Obs.Metrics.counter "server.connections"
+let m_requests = Obs.Metrics.counter "server.requests"
+let m_rejects = Obs.Metrics.counter "server.rejects"
+let m_conn_crashes = Obs.Metrics.counter "server.conn_crashes"
+let g_active = Obs.Metrics.gauge "server.active"
+let h_request_ms = Obs.Metrics.histogram "server.request_ms"
+
+type addr = Unix_path of string | Tcp of string * int
+
+let parse_addr s =
+  if s = "" then Error "empty address"
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port_s with
+        | Some p when p >= 0 && p < 65536 ->
+            Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | Some _ -> Error ("port out of range: " ^ port_s)
+        | None -> Ok (Unix_path s))
+    | None -> Ok (Unix_path s)
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+type config = {
+  cf_addr : addr;
+  cf_domains : int;
+  cf_queue_depth : int;
+  cf_backlog : int;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  unix_path : string option;
+  pool : Pool.t;
+  depth : int;
+  stop_r : Unix.file_descr; (* self-pipe: readable <=> stop requested *)
+  stop_w : Unix.file_descr;
+  mutable accept_dom : unit Domain.t option;
+  stopped : bool Atomic.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable finished : bool;
+  (* live connection fds, so stop can force-disconnect: a worker blocked
+     reading an idle client must not stall shutdown forever *)
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_m : Mutex.t;
+}
+
+let register_conn t fd =
+  Mutex.protect t.conns_m (fun () -> Hashtbl.replace t.conns fd ())
+
+let unregister_conn t fd =
+  Mutex.protect t.conns_m (fun () -> Hashtbl.remove t.conns fd)
+
+(* [shutdown(2)], not [close(2)]: shutdown wakes a peer domain blocked in
+   [read] with EOF; closing out from under it would not (and the worker
+   owns the close). *)
+let disconnect_all t =
+  Mutex.protect t.conns_m (fun () ->
+      Hashtbl.iter
+        (fun fd () ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        t.conns;
+      Hashtbl.reset t.conns)
+
+(* --- per-connection serving --------------------------------------------- *)
+
+let exec_request session (rq : Wire.request) =
+  match rq.Wire.rq_rewrite with
+  | None -> Mvstore.Session.exec_sql session rq.Wire.rq_sql
+  | Some b ->
+      let saved = Mvstore.Session.rewrite_enabled session in
+      Mvstore.Session.set_rewrite session b;
+      Fun.protect
+        ~finally:(fun () -> Mvstore.Session.set_rewrite session saved)
+        (fun () -> Mvstore.Session.exec_sql session rq.Wire.rq_sql)
+
+let process session line =
+  match Wire.request_of_line line with
+  | Error e -> Wire.response_error ~id:J.Null e
+  | Ok rq -> (
+      let t0 = Obs.Metrics.now_ms () in
+      match exec_request session rq with
+      | outcomes ->
+          Wire.response_ok ~id:rq.Wire.rq_id
+            ~ms:(Obs.Metrics.now_ms () -. t0)
+            outcomes
+      | exception exn ->
+          Wire.response_error ~id:rq.Wire.rq_id
+            (Wire.error_of_exn ~sql:rq.Wire.rq_sql exn))
+
+let serve_conn session io =
+  let rec loop () =
+    match Lineio.read_line io with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        Obs.Metrics.incr m_requests;
+        let resp =
+          Obs.Metrics.time h_request_ms (fun () -> process session line)
+        in
+        Lineio.write_line io (J.to_string resp);
+        loop ()
+    | exception Lineio.Line_too_long ->
+        (* hostile or broken peer: one typed error, then hang up *)
+        let e =
+          Wire.error_of_exn ~sql:""
+            (Failure
+               (Printf.sprintf "request line exceeds %d bytes"
+                  Lineio.max_line_bytes))
+        in
+        Lineio.write_line io
+          (J.to_string (Wire.response_error ~id:J.Null e))
+  in
+  loop ()
+
+let handle t mk_session fd =
+  Obs.Metrics.gauge_add g_active 1.;
+  let io = Lineio.make fd in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.gauge_add g_active (-1.);
+      unregister_conn t fd;
+      Lineio.close io)
+    (fun () ->
+      try
+        (* fault-injection point: a crash here must cost exactly this
+           connection, nothing else *)
+        Guard.Fault.hit Guard.Fault.Accept;
+        let session = mk_session () in
+        serve_conn session io
+      with
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          () (* peer went away mid-stream: normal hangup *)
+      | exn ->
+          Obs.Metrics.incr m_conn_crashes;
+          raise exn)
+
+(* --- accept loop -------------------------------------------------------- *)
+
+let overloaded_line depth =
+  J.to_string
+    (Wire.response_error ~id:J.Null (Wire.overloaded_error ~queue_depth:depth))
+
+let reject fd depth =
+  Obs.Metrics.incr m_rejects;
+  let io = Lineio.make fd in
+  (try Lineio.write_line io (overloaded_line depth)
+   with Unix.Unix_error _ -> ());
+  Lineio.close io
+
+let accept_loop t mk_session () =
+  let rec loop () =
+    if Atomic.get t.stopped then ()
+    else begin
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+          if List.mem t.stop_r readable then ()
+          else begin
+            (match Unix.accept ~cloexec:true t.listen_fd with
+            | exception Unix.Unix_error (_, _, _) -> ()
+            | fd, _ ->
+                Obs.Metrics.incr m_connections;
+                register_conn t fd;
+                if not (Pool.submit t.pool (fun () -> handle t mk_session fd))
+                then begin
+                  unregister_conn t fd;
+                  reject fd t.depth
+                end);
+            loop ()
+          end
+    end
+  in
+  loop ()
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let bind_socket = function
+  | Unix_path path ->
+      (* a stale socket file from a previous run would fail the bind *)
+      (if Sys.file_exists path then
+         try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with e -> Unix.close fd; raise e);
+      (fd, Some path)
+  | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found ->
+            raise
+              (Unix.Unix_error
+                 (Unix.EINVAL, "gethostbyname", host)))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (inet, port))
+       with e -> Unix.close fd; raise e);
+      (fd, None)
+
+let start config ~mk_session =
+  if config.cf_domains < 1 then invalid_arg "Listener.start: domains < 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd, unix_path = bind_socket config.cf_addr in
+  Unix.listen listen_fd (max 1 config.cf_backlog);
+  let bound = Unix.getsockname listen_fd in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let pool =
+    Pool.create ~domains:config.cf_domains ~queue_depth:config.cf_queue_depth
+      ()
+  in
+  let t =
+    {
+      listen_fd;
+      bound;
+      unix_path;
+      pool;
+      depth = config.cf_queue_depth;
+      stop_r;
+      stop_w;
+      accept_dom = None;
+      stopped = Atomic.make false;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      finished = false;
+      conns = Hashtbl.create 32;
+      conns_m = Mutex.create ();
+    }
+  in
+  t.accept_dom <- Some (Domain.spawn (accept_loop t mk_session));
+  t
+
+let sockaddr t = t.bound
+
+let port t =
+  match t.bound with Unix.ADDR_INET (_, p) -> Some p | _ -> None
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (* wake the accept loop *)
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.accept_dom with
+    | Some d ->
+        Domain.join d;
+        t.accept_dom <- None
+    | None -> ());
+    (* force-disconnect live clients so workers drain promptly *)
+    disconnect_all t;
+    Pool.shutdown t.pool;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+    (match t.unix_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ());
+    Mutex.protect t.m (fun () ->
+        t.finished <- true;
+        Condition.broadcast t.cv)
+  end
+
+let wait t =
+  Mutex.protect t.m (fun () ->
+      while not t.finished do
+        Condition.wait t.cv t.m
+      done)

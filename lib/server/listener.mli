@@ -1,0 +1,56 @@
+(** The serving loop: socket setup, accept, and per-connection dispatch
+    onto a bounded {!Pool} of domains.
+
+    One accepted connection is one job: a worker binds one fresh session
+    (via the [mk_session] factory, typically {!Mvstore.Session.attach} on
+    shared state) and serves the connection's requests sequentially until
+    the client disconnects. Cross-connection parallelism comes from the
+    pool; within a connection, requests are strictly ordered — that is
+    what makes per-client results reproducible.
+
+    Backpressure ladder, outermost first:
+    + the kernel listen backlog absorbs connection bursts;
+    + accepted connections queue in the pool up to [cf_queue_depth];
+    + beyond that the listener answers one typed [overloaded] error line
+      and closes — never an unbounded queue, never a silent drop.
+
+    A handler that raises (including an armed [accept] fault) closes its
+    own connection and is counted; the accept loop and the other workers
+    are untouched. *)
+
+type addr =
+  | Unix_path of string        (** Unix-domain socket at this path *)
+  | Tcp of string * int        (** host, port; port [0] = ephemeral *)
+
+(** ["host:port"] when the suffix after the last [':'] is numeric,
+    otherwise a Unix-socket path. Empty host means [127.0.0.1]. *)
+val parse_addr : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+type config = {
+  cf_addr : addr;
+  cf_domains : int;       (** worker domains (>= 1) *)
+  cf_queue_depth : int;   (** bounded waiting queue (>= 0) *)
+  cf_backlog : int;       (** listen(2) backlog *)
+}
+
+type t
+
+(** Bind, listen, spawn the workers and the accept domain, and return.
+    [mk_session] runs once per accepted connection, in the worker domain
+    that serves it. Raises [Unix.Unix_error] when the address cannot be
+    bound. Ignores [SIGPIPE] process-wide. *)
+val start : config -> mk_session:(unit -> Mvstore.Session.t) -> t
+
+(** The bound address ([Tcp] with port [0] resolves to the real port). *)
+val sockaddr : t -> Unix.sockaddr
+
+val port : t -> int option
+
+(** Stop accepting, drain accepted work, join all domains, close and (for
+    Unix sockets) unlink. Idempotent. *)
+val stop : t -> unit
+
+(** Block until {!stop} is called from another domain/signal context. *)
+val wait : t -> unit

@@ -1,0 +1,76 @@
+let m_worker_errors = Obs.Metrics.counter "server.worker_errors"
+let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : (unit -> unit) Queue.t;
+  depth : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker t () =
+  let rec loop () =
+    let job =
+      Mutex.protect t.m (fun () ->
+          while Queue.is_empty t.q && not t.stopping do
+            Condition.wait t.nonempty t.m
+          done;
+          if Queue.is_empty t.q then None
+          else begin
+            let j = Queue.pop t.q in
+            Obs.Metrics.gauge_add g_queue_depth (-1.);
+            Some j
+          end)
+    in
+    match job with
+    | None -> () (* stopping and drained *)
+    | Some j ->
+        (try j ()
+         with _ -> Obs.Metrics.incr m_worker_errors);
+        loop ()
+  in
+  loop ()
+
+let create ~domains ~queue_depth () =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  if queue_depth < 0 then invalid_arg "Pool.create: queue_depth < 0";
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      depth = queue_depth;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t job =
+  let accepted =
+    Mutex.protect t.m (fun () ->
+        if t.stopping || Queue.length t.q >= t.depth then false
+        else begin
+          Queue.push job t.q;
+          Obs.Metrics.gauge_add g_queue_depth 1.;
+          true
+        end)
+  in
+  if accepted then Condition.signal t.nonempty;
+  accepted
+
+let queued t = Mutex.protect t.m (fun () -> Queue.length t.q)
+
+let shutdown t =
+  let ws =
+    Mutex.protect t.m (fun () ->
+        t.stopping <- true;
+        let ws = t.workers in
+        t.workers <- [];
+        ws)
+  in
+  Condition.broadcast t.nonempty;
+  List.iter Domain.join ws

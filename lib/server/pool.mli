@@ -1,0 +1,28 @@
+(** Bounded domain pool: [domains] OCaml 5 domains draining a waiting
+    queue of at most [queue_depth] jobs.
+
+    The bound is the backpressure mechanism — {!submit} never blocks and
+    never queues unboundedly; when every worker is busy and the queue is
+    full it returns [false] and the caller sheds load (the listener turns
+    that into a typed [overloaded] wire error). A job that raises is
+    contained: the exception is counted ([server.worker_errors]) and the
+    worker keeps serving. *)
+
+type t
+
+(** [create ~domains ~queue_depth ()] spawns the worker domains
+    immediately. [domains >= 1], [queue_depth >= 0] ([0] = reject whenever
+    no worker is idle... strictly: whenever the queue cannot hold the
+    job). *)
+val create : domains:int -> queue_depth:int -> unit -> t
+
+(** [submit t job] enqueues [job] unless the queue is full or the pool is
+    shutting down; [true] iff accepted. *)
+val submit : t -> (unit -> unit) -> bool
+
+(** Jobs waiting (not yet picked up by a worker). *)
+val queued : t -> int
+
+(** Signal shutdown, wait for workers to finish the jobs already accepted,
+    and join the domains. Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Server smoke test: boots astql-server on a Unix-domain socket and drives
+# the whole client path against it — every example script, a typed-error
+# round trip (bad SQL must yield a structured error AND a non-zero client
+# exit without killing the connection for the next request), and a check
+# that the server.* metrics actually counted the traffic. Run from anywhere;
+# it cd's to the repo root. CI runs it in the server-smoke job next to the
+# PERF8 serving gate (ASTRW_SMOKE=1 bench run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bin/astql.exe bin/astql_server.exe
+
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/astql-smoke-XXXXXX.sock")
+METRICS=$(mktemp "${TMPDIR:-/tmp}/astql-smoke-metrics-XXXXXX.json")
+ERRTXT=$(mktemp "${TMPDIR:-/tmp}/astql-smoke-err-XXXXXX.txt")
+
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$SOCK" "$METRICS" "$ERRTXT"
+}
+trap cleanup EXIT
+
+./_build/default/bin/astql_server.exe \
+  --addr "$SOCK" --domains 2 --queue-depth 16 --metrics-out "$METRICS" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died during startup"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+
+echo "== example scripts through the client =="
+for f in examples/*.sql; do
+  echo "--- $f"
+  ./_build/default/bin/astql.exe connect "$SOCK" "$f"
+done
+
+echo "== typed-error round trip =="
+if ./_build/default/bin/astql.exe connect "$SOCK" \
+     -e 'SELECT no_such_column FROM sales GROUP BY no_such_column;' \
+     >"$ERRTXT" 2>&1; then
+  echo "FAIL: bad SQL should exit non-zero"
+  cat "$ERRTXT"
+  exit 1
+fi
+grep -q 'session_error' "$ERRTXT" || {
+  echo "FAIL: expected a structured session_error, got:"
+  cat "$ERRTXT"
+  exit 1
+}
+
+# the same server must still answer after shedding the failed statement
+./_build/default/bin/astql.exe connect "$SOCK" \
+  -e 'SELECT region, SUM(qty) AS q FROM sales GROUP BY region ORDER BY region;'
+
+echo "== clean shutdown + metrics =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: server exited non-zero on SIGTERM"; exit 1; }
+SERVER_PID=
+
+grep -q '"server.requests"' "$METRICS" || {
+  echo "FAIL: server.requests missing from metrics dump"; exit 1;
+}
+grep -q '"server.connections"' "$METRICS" || {
+  echo "FAIL: server.connections missing from metrics dump"; exit 1;
+}
+
+echo "server smoke OK"

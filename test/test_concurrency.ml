@@ -1,0 +1,174 @@
+(* Multi-domain stress over one shared store: sessions on N domains issue
+   a mixed query/DML workload concurrently. Checks after the dust settles:
+
+   - per-domain results are bag-equal to a single-threaded reference
+     (each domain writes only its own scratch table, so its view of that
+     table is deterministic whatever the interleaving);
+   - no lost or torn writes: the shared log table holds exactly the rows
+     every domain inserted, and because each INSERT adds a fixed even
+     number of rows, any in-flight reader must always count a multiple of
+     that batch — a half-applied statement would show up as a remainder;
+   - metrics tick atomically: N domains x K increments = N*K, exactly;
+   - the store epoch advanced once per published write. *)
+
+module Sess = Mvstore.Session
+module Shared = Mvstore.Shared
+module V = Data.Value
+module R = Data.Relation
+
+let n_domains = 4
+let n_iters = 20
+let batch = 2 (* rows per INSERT into the shared log *)
+
+let seed_shared () =
+  let sn = Sess.create () in
+  ignore
+    (Sess.exec_sql sn
+       "CREATE TABLE fact (grp INT NOT NULL, v INT NOT NULL); \
+        CREATE SUMMARY TABLE fact_by_grp AS SELECT grp, SUM(v) AS s, \
+        COUNT(*) AS c FROM fact GROUP BY grp; \
+        CREATE TABLE log (dom INT NOT NULL, seq INT NOT NULL);");
+  (* bulk load after the summary exists so it stays fresh via refresh *)
+  let values =
+    List.init 60 (fun i -> Printf.sprintf "(%d, %d)" (i mod 5) i)
+    |> String.concat ", "
+  in
+  ignore
+    (Sess.exec_sql sn
+       (Printf.sprintf "INSERT INTO fact VALUES %s; REFRESH SUMMARY TABLE \
+                        fact_by_grp;" values));
+  Sess.share sn
+
+let scratch_name d = Printf.sprintf "scratch_%d" d
+
+(* The per-domain workload: returns the final contents of this domain's
+   scratch table, as answered by [session]. *)
+let workload session d =
+  let sql fmt = Printf.ksprintf (fun s -> Sess.exec_sql session s) fmt in
+  let tbl = scratch_name d in
+  ignore (sql "CREATE TABLE %s (a INT NOT NULL, b INT NOT NULL);" tbl);
+  for i = 1 to n_iters do
+    (* private DML *)
+    ignore (sql "INSERT INTO %s VALUES (%d, %d);" tbl i (i * i));
+    (* shared DML: one statement, [batch] rows, all-or-nothing *)
+    ignore (sql "INSERT INTO log VALUES (%d, %d), (%d, %d);" d i d (-i));
+    (* shared read through the rewriter *)
+    (match
+       sql "SELECT grp, SUM(v) AS s FROM fact GROUP BY grp ORDER BY grp;"
+     with
+    | [ Sess.Table rel ] ->
+        if R.cardinality rel <> 5 then failwith "fact aggregate wrong"
+    | _ -> failwith "expected a table");
+    (* shared read that races in-flight writers: must never observe a
+       torn statement *)
+    (match sql "SELECT COUNT(*) AS n FROM log;" with
+    | [ Sess.Table rel ] -> (
+        match R.rows rel with
+        | [ [| V.Int n |] ] ->
+            if n mod batch <> 0 then
+              failwith
+                (Printf.sprintf "torn write visible: COUNT(log) = %d" n)
+        | _ -> failwith "expected one count row")
+    | _ -> failwith "expected a table")
+  done;
+  match sql "SELECT a, b FROM %s ORDER BY a;" tbl with
+  | [ Sess.Table rel ] -> rel
+  | _ -> failwith "expected a table"
+
+let test_stress () =
+  let shared = seed_shared () in
+  let epoch0 = Shared.epoch shared in
+  let writes0 = Shared.writes shared in
+  let ticks = Obs.Metrics.counter "test.concurrency_ticks" in
+  let ticks0 = Obs.Metrics.counter_value ticks in
+  let results =
+    Array.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let session = Sess.attach shared in
+            let rel = workload session d in
+            for _ = 1 to 1000 do
+              Obs.Metrics.incr ticks
+            done;
+            rel))
+    |> Array.map Domain.join
+  in
+  (* single-threaded reference: same per-domain workload, private store *)
+  let reference d =
+    let sn = Sess.create () in
+    ignore
+      (Sess.exec_sql sn
+         "CREATE TABLE fact (grp INT NOT NULL, v INT NOT NULL); CREATE \
+          TABLE log (dom INT NOT NULL, seq INT NOT NULL);");
+    let values =
+      List.init 60 (fun i -> Printf.sprintf "(%d, %d)" (i mod 5) i)
+      |> String.concat ", "
+    in
+    ignore (Sess.exec_sql sn (Printf.sprintf "INSERT INTO fact VALUES %s;" values));
+    workload sn d
+  in
+  Array.iteri
+    (fun d rel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d bag-equal to reference" d)
+        true
+        (R.bag_equal rel (reference d)))
+    results;
+  (* no lost writes in the shared table *)
+  let check = Sess.attach shared in
+  (match Sess.exec_sql check "SELECT COUNT(*) AS n FROM log;" with
+  | [ Sess.Table rel ] -> (
+      match R.rows rel with
+      | [ [| V.Int n |] ] ->
+          Alcotest.(check int) "every shared insert landed"
+            (n_domains * n_iters * batch)
+            n
+      | _ -> Alcotest.fail "expected one count row")
+  | _ -> Alcotest.fail "expected a table");
+  (* per-domain shared rows intact *)
+  (match
+     Sess.exec_sql check
+       "SELECT dom, COUNT(*) AS n FROM log GROUP BY dom ORDER BY dom;"
+   with
+  | [ Sess.Table rel ] ->
+      Alcotest.(check int) "all domains present" n_domains (R.cardinality rel);
+      List.iter
+        (fun row ->
+          match row with
+          | [| V.Int _; V.Int n |] ->
+              Alcotest.(check int) "per-domain rows" (n_iters * batch) n
+          | _ -> Alcotest.fail "unexpected row shape")
+        (R.rows rel)
+  | _ -> Alcotest.fail "expected a table");
+  (* torn-counter check: N domains x 1000 increments *)
+  Alcotest.(check int) "metrics increments are atomic"
+    (ticks0 + (n_domains * 1000))
+    (Obs.Metrics.counter_value ticks);
+  (* every write statement published exactly once, and the store epoch
+     moved forward *)
+  let published = Shared.writes shared - writes0 in
+  Alcotest.(check int) "expected number of published writes"
+    (n_domains * (1 + (n_iters * 2)))
+    published;
+  Alcotest.(check bool) "epoch advanced" true (Shared.epoch shared > epoch0)
+
+let test_write_visible_at_next_statement () =
+  (* every statement binds the freshest published snapshot: a write by
+     session B is visible to session A's very next statement *)
+  let shared = seed_shared () in
+  let a = Sess.attach shared in
+  let b = Sess.attach shared in
+  ignore (Sess.exec_sql b "INSERT INTO log VALUES (9, 1), (9, 2);");
+  match Sess.exec_sql a "SELECT COUNT(*) AS n FROM log;" with
+  | [ Sess.Table rel ] -> (
+      match R.rows rel with
+      | [ [| V.Int 2 |] ] -> ()
+      | _ -> Alcotest.fail "peer write not visible")
+  | _ -> Alcotest.fail "expected a table"
+
+let suite =
+  [
+    Alcotest.test_case "multi-domain stress: bag-equality, no torn state"
+      `Slow test_stress;
+    Alcotest.test_case "published writes visible at next statement" `Quick
+      test_write_visible_at_next_statement;
+  ]

@@ -1,0 +1,363 @@
+(* The serving stack end to end: JSON parsing, wire round-trips, typed
+   errors, backpressure, and fault containment — real sockets, real
+   domains. *)
+
+module J = Obs.Json
+module Sess = Mvstore.Session
+module V = Data.Value
+
+(* --- JSON parser -------------------------------------------------------- *)
+
+let test_json_parse () =
+  let ok s = match J.of_string s with Ok v -> v | Error e -> Alcotest.fail e in
+  let err s =
+    match J.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  (match ok {| {"a": [1, -2.5, true, null, "x\ny"], "b": {}} |} with
+  | J.Obj [ ("a", J.List [ J.Int 1; J.Float f; J.Bool true; J.Null; J.Str s ]);
+            ("b", J.Obj []) ] ->
+      Alcotest.(check (float 0.)) "float" (-2.5) f;
+      Alcotest.(check string) "escape" "x\ny" s
+  | other -> Alcotest.fail ("unexpected shape: " ^ J.to_string other));
+  (match ok {|"é😀"|} with
+  | J.Str s -> Alcotest.(check string) "utf8" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected string");
+  (match ok "1e3" with
+  | J.Float f -> Alcotest.(check (float 0.)) "exp" 1000. f
+  | _ -> Alcotest.fail "1e3 should be a float");
+  (match ok "42" with
+  | J.Int 42 -> ()
+  | _ -> Alcotest.fail "42 should be an int");
+  err "{";
+  err "[1,]";
+  err "nulll";
+  err "1 2";
+  err {|{"a" 1}|};
+  err {|"\ud800"|}
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("id", J.Int 7);
+        ("x", J.Float 0.1);
+        ("s", J.Str "a\"b\\c\n\t");
+        ("l", J.List [ J.Null; J.Bool false ]);
+      ]
+  in
+  match J.of_string (J.to_string v) with
+  | Ok v' -> Alcotest.(check string) "round trip" (J.to_string v) (J.to_string v')
+  | Error e -> Alcotest.fail e
+
+let test_value_roundtrip () =
+  let vals =
+    [
+      V.Null; V.Int (-3); V.Float 1.5; V.Float Float.nan;
+      V.Float Float.infinity; V.Str "héllo"; V.Bool true; V.date 2024 2 29;
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Server.Wire.value_of_json (Server.Wire.value_to_json v) with
+      | Ok v' ->
+          if not (V.is_null v) || not (V.is_null v') then
+            Alcotest.(check bool)
+              ("round trip " ^ V.to_string v)
+              true
+              (V.compare v v' = 0 || (v <> v && v' <> v'))
+      | Error e -> Alcotest.fail e)
+    vals
+
+(* --- a live server ------------------------------------------------------ *)
+
+let seed_shared () =
+  let sn = Sess.create () in
+  ignore
+    (Sess.exec_sql sn
+       "CREATE TABLE sales (region VARCHAR NOT NULL, amount INT NOT NULL); \
+        INSERT INTO sales VALUES ('east', 10), ('east', 20), ('west', 5); \
+        CREATE SUMMARY TABLE sales_by_region AS SELECT region, SUM(amount) \
+        AS total, COUNT(*) AS n FROM sales GROUP BY region;");
+  Sess.share sn
+
+let with_server ?(domains = 2) ?(queue_depth = 4) ?shared f =
+  let shared = match shared with Some s -> s | None -> seed_shared () in
+  let srv =
+    Server.Listener.start
+      {
+        Server.Listener.cf_addr = Server.Listener.Tcp ("127.0.0.1", 0);
+        cf_domains = domains;
+        cf_queue_depth = queue_depth;
+        cf_backlog = 16;
+      }
+      ~mk_session:(fun () -> Sess.attach shared)
+  in
+  let addr =
+    Server.Listener.Tcp
+      ("127.0.0.1", Option.get (Server.Listener.port srv))
+  in
+  Fun.protect ~finally:(fun () -> Server.Listener.stop srv) (fun () -> f addr)
+
+let expect_table = function
+  | Server.Wire.Table (cols, rows) -> (cols, rows)
+  | _ -> Alcotest.fail "expected a table outcome"
+
+let test_round_trip () =
+  with_server (fun addr ->
+      let c = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          (match Server.Client.request c "SELECT region, SUM(amount) AS total \
+                                          FROM sales GROUP BY region ORDER BY \
+                                          region;" with
+          | Ok r -> (
+              Alcotest.(check bool) "has latency" true (r.Server.Wire.rp_ms >= 0.);
+              match r.Server.Wire.rp_results with
+              | [ t ] ->
+                  let cols, rows = expect_table t in
+                  Alcotest.(check (list string)) "columns"
+                    [ "region"; "total" ] cols;
+                  Alcotest.(check int) "rows" 2 (List.length rows);
+                  (match rows with
+                  | [ [| V.Str "east"; V.Int 30 |]; [| V.Str "west"; V.Int 5 |] ]
+                    -> ()
+                  | _ -> Alcotest.fail "wrong rows")
+              | _ -> Alcotest.fail "expected one outcome")
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+          (* multi-statement script in one request *)
+          match
+            Server.Client.request c
+              "CREATE TABLE t2 (a INT); INSERT INTO t2 VALUES (1), (2); \
+               SELECT COUNT(*) AS n FROM t2;"
+          with
+          | Ok r -> (
+              Alcotest.(check int) "three outcomes" 3
+                (List.length r.Server.Wire.rp_results);
+              match List.rev r.Server.Wire.rp_results with
+              | last :: _ -> (
+                  match expect_table last with
+                  | _, [ [| V.Int 2 |] ] -> ()
+                  | _ -> Alcotest.fail "count wrong")
+              | [] -> Alcotest.fail "no outcomes")
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+let test_dml_visible_across_connections () =
+  with_server (fun addr ->
+      let a = Server.Client.connect_addr addr in
+      (match
+         Server.Client.request a "INSERT INTO sales VALUES ('north', 7);"
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+      Server.Client.close a;
+      let b = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close b) (fun () ->
+          match
+            Server.Client.request b
+              "SELECT COUNT(*) AS n FROM sales WHERE region = 'north';"
+          with
+          | Ok r -> (
+              match r.Server.Wire.rp_results with
+              | [ t ] -> (
+                  match expect_table t with
+                  | _, [ [| V.Int 1 |] ] -> ()
+                  | _ -> Alcotest.fail "published write not visible")
+              | _ -> Alcotest.fail "expected one outcome")
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+let test_typed_errors () =
+  with_server (fun addr ->
+      let c = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          (match Server.Client.request c "SELEC oops" with
+          | Error e ->
+              Alcotest.(check string) "code" "session_error"
+                e.Server.Wire.we_code;
+              Alcotest.(check (option string)) "statement echoed"
+                (Some "SELEC oops") e.Server.Wire.we_statement;
+              Alcotest.(check bool) "msg nonempty" true
+                (String.length e.Server.Wire.we_msg > 0)
+          | Ok _ -> Alcotest.fail "bad SQL must fail");
+          (* a failed statement must not poison the connection *)
+          (match Server.Client.request c "SELECT COUNT(*) AS n FROM sales;" with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+          (* a failed DML publishes nothing *)
+          (match
+             Server.Client.request c
+               "INSERT INTO sales VALUES ('torn', 1), ('torn', NULL);"
+           with
+          | Error e ->
+              Alcotest.(check string) "code" "session_error"
+                e.Server.Wire.we_code
+          | Ok _ -> Alcotest.fail "NOT NULL violation must fail");
+          match
+            Server.Client.request c
+              "SELECT region, COUNT(*) AS n FROM sales WHERE region = \
+               'torn' GROUP BY region;"
+          with
+          | Ok r -> (
+              match r.Server.Wire.rp_results with
+              | [ t ] -> (
+                  match expect_table t with
+                  | _, [] -> ()
+                  | _ -> Alcotest.fail "failed statement leaked rows")
+              | _ -> Alcotest.fail "expected one outcome")
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+let test_bad_request_line () =
+  with_server (fun addr ->
+      (* speak raw protocol: not JSON at all *)
+      let fd =
+        match addr with
+        | Server.Listener.Tcp (h, p) ->
+            let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_of_string h, p));
+            s
+        | _ -> Alcotest.fail "tcp expected"
+      in
+      let io = Server.Lineio.make fd in
+      Server.Lineio.write_line io "this is not json";
+      (match Server.Lineio.read_line io with
+      | Some line -> (
+          match Server.Wire.response_of_line line with
+          | Ok (Server.Wire.Failed (_, e)) ->
+              Alcotest.(check string) "code" "bad_request"
+                e.Server.Wire.we_code
+          | _ -> Alcotest.fail "expected typed bad_request")
+      | None -> Alcotest.fail "no response");
+      (* missing sql field *)
+      Server.Lineio.write_line io {|{"id": 1}|};
+      (match Server.Lineio.read_line io with
+      | Some line -> (
+          match Server.Wire.response_of_line line with
+          | Ok (Server.Wire.Failed (_, e)) ->
+              Alcotest.(check string) "code" "bad_request"
+                e.Server.Wire.we_code
+          | _ -> Alcotest.fail "expected typed bad_request")
+      | None -> Alcotest.fail "no response");
+      Server.Lineio.close io)
+
+let test_overload_typed_rejection () =
+  with_server ~domains:1 ~queue_depth:1 (fun addr ->
+      let a = Server.Client.connect_addr addr in
+      (* completing a request proves the single worker is bound to A *)
+      (match Server.Client.request a "SELECT COUNT(*) AS n FROM sales;" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+      let b = Server.Client.connect_addr addr in
+      (* B occupies the one queue slot; C must be shed with a typed error *)
+      let c = Server.Client.connect_addr addr in
+      (match Server.Client.request c "SELECT COUNT(*) AS n FROM sales;" with
+      | Error e ->
+          Alcotest.(check string) "code" "overloaded" e.Server.Wire.we_code
+      | Ok _ -> Alcotest.fail "expected overloaded"
+      | exception _ ->
+          (* rejection may close before our request line is read *)
+          ());
+      Server.Client.close c;
+      (* free the worker: A hangs up, queued B gets served *)
+      Server.Client.close a;
+      (match Server.Client.request b "SELECT COUNT(*) AS n FROM sales;" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+      Server.Client.close b)
+
+let test_accept_fault_is_contained () =
+  with_server ~domains:1 ~queue_depth:4 (fun addr ->
+      Guard.Fault.disarm_all ();
+      Guard.Fault.arm Guard.Fault.Accept ~after:2;
+      Fun.protect ~finally:Guard.Fault.disarm_all (fun () ->
+          let q c =
+            Server.Client.request c "SELECT COUNT(*) AS n FROM sales;"
+          in
+          let c1 = Server.Client.connect_addr addr in
+          (match q c1 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+          Server.Client.close c1;
+          (* the second connection's handler is killed by the injected
+             fault; the client just sees a hangup *)
+          let c2 = Server.Client.connect_addr addr in
+          (match q c2 with
+          | Ok _ -> Alcotest.fail "faulted connection should not answer"
+          | Error _ -> ()
+          | exception _ -> ());
+          Server.Client.close c2;
+          (* and the server is still alive for the next one *)
+          let c3 = Server.Client.connect_addr addr in
+          (match q c3 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+          Server.Client.close c3))
+
+let test_unix_socket_and_rewrite_opt () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "astql_test_%d.sock" (Unix.getpid ()))
+  in
+  let shared = seed_shared () in
+  let srv =
+    Server.Listener.start
+      {
+        Server.Listener.cf_addr = Server.Listener.Unix_path path;
+        cf_domains = 1;
+        cf_queue_depth = 2;
+        cf_backlog = 8;
+      }
+      ~mk_session:(fun () -> Sess.attach shared)
+  in
+  Fun.protect ~finally:(fun () -> Server.Listener.stop srv) (fun () ->
+      let c = Server.Client.connect path in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          let sql =
+            "EXPLAIN REWRITE SELECT region, SUM(amount) AS total FROM sales \
+             GROUP BY region;"
+          in
+          let plan_of r =
+            match r.Server.Wire.rp_results with
+            | [ Server.Wire.Plan p ] -> p
+            | _ -> Alcotest.fail "expected a plan outcome"
+          in
+          let with_rw =
+            match Server.Client.request c sql with
+            | Ok r -> plan_of r
+            | Error e -> Alcotest.fail (Server.Wire.error_to_string e)
+          in
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "rewrites against the summary" true
+            (contains with_rw "sales_by_region");
+          match Server.Client.request c ~rewrite:false sql with
+          | Ok r ->
+              let without = plan_of r in
+              Alcotest.(check bool) "opts.rewrite=false suppresses routing"
+                true (without <> with_rw)
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)));
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "JSON parser" `Quick test_json_parse;
+    Alcotest.test_case "JSON round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "wire value round trip" `Quick test_value_roundtrip;
+    Alcotest.test_case "request/response round trip" `Quick test_round_trip;
+    Alcotest.test_case "published DML visible to new connections" `Quick
+      test_dml_visible_across_connections;
+    Alcotest.test_case "typed errors + statement rollback" `Quick
+      test_typed_errors;
+    Alcotest.test_case "bad request lines" `Quick test_bad_request_line;
+    Alcotest.test_case "overload sheds with typed error" `Quick
+      test_overload_typed_rejection;
+    Alcotest.test_case "accept fault contained to one connection" `Quick
+      test_accept_fault_is_contained;
+    Alcotest.test_case "unix socket + opts.rewrite" `Quick
+      test_unix_socket_and_rewrite_opt;
+  ]
