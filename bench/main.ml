@@ -844,6 +844,90 @@ let () =
   in
   print_newline ();
 
+  (* ---------------- PERF9: durability write-path overhead ------------ *)
+  (* Cost of the WAL commit hook per fsync policy: the same INSERT
+     workload against a plain in-memory session (baseline), then against
+     durable sessions logging with fsync off / every 16 commits / every
+     commit. The off/interval rows isolate the framing + write(2) cost;
+     the always row is dominated by fsync latency of the backing device,
+     so it is reported but not gated. *)
+  Printf.printf "=== PERF9: durability write-path overhead per fsync policy ===\n";
+  let dur_stmts = if smoke then 200 else 1000 in
+  let temp_dur_dir () =
+    let d = Filename.temp_file "astrw-bench-dur" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let rm_rf dir =
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let time_inserts sn =
+    ignore
+      (Mvstore.Session.exec_sql sn
+         "CREATE TABLE wlog (seq INT NOT NULL, v INT NOT NULL);");
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to dur_stmts do
+      ignore
+        (Mvstore.Session.exec_sql sn
+           (Printf.sprintf "INSERT INTO wlog VALUES (%d, %d);" i (i * 3)))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let baseline_ms = time_inserts (Mvstore.Session.create ()) in
+  let durability_row (label, policy) =
+    let dir = temp_dur_dir () in
+    let cfg =
+      {
+        Durable.Manager.c_dir = dir;
+        c_fsync = policy;
+        c_checkpoint_every = 0;
+      }
+    in
+    let mgr, shared, _ = Durable.Manager.recover cfg in
+    let sn = Mvstore.Session.attach shared in
+    Durable.Manager.bind mgr sn;
+    let ms = time_inserts sn in
+    Durable.Manager.close mgr;
+    rm_rf dir;
+    let per_stmt_us = ms *. 1000. /. float_of_int dur_stmts in
+    Printf.printf
+      "%-12s %8.1f ms for %d statements   %8.2f us/stmt   %5.2fx baseline\n%!"
+      label ms dur_stmts per_stmt_us (ms /. baseline_ms);
+    Json.Obj
+      [
+        ("policy", Json.Str label);
+        ("statements", Json.Int dur_stmts);
+        ("wall_ms", Json.Num ms);
+        ("us_per_stmt", Json.Num per_stmt_us);
+        ("overhead_vs_baseline", Json.Num (ms /. baseline_ms));
+      ]
+  in
+  Printf.printf
+    "%-12s %8.1f ms for %d statements   %8.2f us/stmt   (baseline)\n%!"
+    "in-memory" baseline_ms dur_stmts
+    (baseline_ms *. 1000. /. float_of_int dur_stmts);
+  let durability_rows =
+    List.map durability_row
+      [
+        ("off", Durable.Wal.Off);
+        ("interval:16", Durable.Wal.Interval 16);
+        ("always", Durable.Wal.Always);
+      ]
+  in
+  let durability_obj =
+    Json.Obj
+      [
+        ("statements", Json.Int dur_stmts);
+        ("baseline_ms", Json.Num baseline_ms);
+        ("rows", Json.List durability_rows);
+      ]
+  in
+  print_newline ();
+
   (* ---------------- BENCH_results.json ------------------------------- *)
   let results_path = "BENCH_results.json" in
   Json.to_file results_path
@@ -866,6 +950,7 @@ let () =
          ("governed_planning", !governed_obj);
          ("validated_planning", !validated_obj);
          ("serving", serving_obj);
+         ("durability", durability_obj);
          ("verification", Json.Obj verify_rows);
          (* the live registry, same schema as \metrics json / --metrics-out *)
          ("metrics", Obs.Metrics.to_json ());

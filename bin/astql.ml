@@ -115,8 +115,11 @@ let exec_text session text =
 let print_stats session =
   print_endline (Plancache.Stats.to_string (Mvstore.Session.stats session))
 
-let print_health session =
-  print_endline (Mvstore.Session.health session)
+let print_health ?durable session =
+  print_endline (Mvstore.Session.health session);
+  match durable with
+  | Some mgr -> print_endline (Durable.Manager.describe mgr)
+  | None -> ()
 
 let print_metrics () = print_string (Obs.Metrics.to_text ())
 
@@ -245,7 +248,7 @@ let print_traces session =
           print_string (Obs.Trace.render tr))
         traces
 
-let repl session =
+let repl ?durable session =
   print_endline
     "astql — type SQL statements ending with ';'  (\\q to quit, \\stats for \
      planner counters, \\health for fault-isolation and maintenance \
@@ -266,7 +269,7 @@ let repl session =
           loop ()
         end
         else if trimmed = "\\health" then begin
-          print_health session;
+          print_health ?durable session;
           loop ()
         end
         else if trimmed = "\\limits" then begin
@@ -350,6 +353,68 @@ let make_session ~rewrite ~verify ~budget ~auto_maint ~demo ~scale =
     session
   end
   else Mvstore.Session.create ~rewrite ~verify ~budget ~auto_maint ()
+
+(* With --durability, the recovered shared state is canonical: demo seed
+   data only applies when the database was recovered empty (and is folded
+   into a checkpoint immediately so it survives a crash before the first
+   commit). *)
+let state_empty shared =
+  let snap = Mvstore.Shared.snapshot shared in
+  Catalog.tables (Engine.Db.catalog snap.Mvstore.Shared.sn_db) = []
+
+(* Build the session for run/repl/demo and hand it to [k] together with
+   the durability manager when one is active. Without --durability this
+   is the ordinary private in-process session. With it, boot-time
+   recovery runs first, the session attaches to the recovered shared
+   state with the commit hook installed (every committed write statement
+   is WAL-logged before it is published), quarantined summaries from
+   degraded recovery are queued for self-healing rebuild, and — however
+   [k] returns or raises — a final checkpoint folds the WAL away so the
+   next boot replays nothing. *)
+let with_session ~rewrite ~verify ~budget ~auto_maint ~demo ~scale
+    ~durability ~fsync ~checkpoint_every k =
+  match durability with
+  | None ->
+      k (make_session ~rewrite ~verify ~budget ~auto_maint ~demo ~scale) None
+  | Some dir ->
+      let cfg =
+        {
+          Durable.Manager.c_dir = dir;
+          c_fsync = fsync;
+          c_checkpoint_every = checkpoint_every;
+        }
+      in
+      let mgr, shared, report = Durable.Manager.recover cfg in
+      Printf.eprintf "durability on — %s\n%!"
+        (Durable.Manager.describe_report report);
+      if demo then
+        if state_empty shared then begin
+          let seed =
+            make_session ~rewrite ~verify ~budget ~auto_maint ~demo ~scale
+          in
+          Mvstore.Shared.with_write shared (fun _ ->
+              ( {
+                  Mvstore.Shared.sn_db = Mvstore.Session.db seed;
+                  sn_store = Mvstore.Session.store seed;
+                },
+                () ));
+          Durable.Manager.checkpoint mgr
+        end
+        else
+          Printf.eprintf
+            "recovered state is non-empty; ignoring demo seed data\n%!";
+      let session =
+        Mvstore.Session.attach ~rewrite ~verify ~budget ~auto_maint shared
+      in
+      Durable.Manager.bind mgr session;
+      List.iter
+        (Mvstore.Maint.enqueue (Mvstore.Session.maint session))
+        report.Durable.Manager.r_quarantined;
+      Fun.protect
+        ~finally:(fun () ->
+          Durable.Manager.checkpoint mgr;
+          Durable.Manager.close mgr)
+        (fun () -> k session (Some mgr))
 
 open Cmdliner
 
@@ -456,6 +521,70 @@ let arm_faults = function
           Printf.eprintf "bad --fault spec: %s\n" m;
           Stdlib.exit 2)
 
+let crash_arg =
+  let doc =
+    "Arm crash-injection points (testing): comma-separated \
+     $(i,point)[:$(i,N)] over $(b,wal_append), $(b,wal_fsync), \
+     $(b,checkpoint_write), $(b,checkpoint_rename) — the Nth hit SIGKILLs \
+     the process at that exact durability step, exactly like kill -9."
+  in
+  let env = Cmd.Env.info "ASTQL_CRASH" ~doc:"Default crash spec." in
+  Arg.(value & opt (some string) None & info [ "crash" ] ~env ~docv:"SPEC" ~doc)
+
+let arm_crashes = function
+  | None -> ()
+  | Some spec -> (
+      match Guard.Fault.arm_crash_spec spec with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "bad --crash spec: %s\n" m;
+          Stdlib.exit 2)
+
+let durability_arg =
+  let doc =
+    "Durability directory (WAL + checkpoints). On boot the newest valid \
+     checkpoint is loaded and the WAL suffix replayed; afterwards every \
+     committed write statement is logged before it is published, and a \
+     final checkpoint is taken on exit. Unset = in-memory only."
+  in
+  let env =
+    Cmd.Env.info "ASTQL_DURABILITY" ~doc:"Default durability directory."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "durability" ] ~env ~docv:"DIR" ~doc)
+
+let fsync_conv =
+  let parse s =
+    match Durable.Wal.fsync_policy_of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Durable.Wal.fsync_policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let fsync_arg =
+  let doc =
+    "WAL fsync policy: $(b,always) (every commit), $(b,interval:N) (every \
+     N commits), or $(b,off) (the OS decides)."
+  in
+  let env = Cmd.Env.info "ASTQL_FSYNC" ~doc:"Default WAL fsync policy." in
+  Arg.(
+    value
+    & opt fsync_conv Durable.Wal.Always
+    & info [ "fsync" ] ~env ~docv:"POLICY" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Fold the WAL into a fresh checkpoint every $(docv) commits (0 = only \
+     at exit)."
+  in
+  let env =
+    Cmd.Env.info "ASTQL_CHECKPOINT_EVERY" ~doc:"Default checkpoint interval."
+  in
+  Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~env ~docv:"N" ~doc)
+
 let scale_arg =
   let doc = "Demo data scale factor." in
   Arg.(value & opt int 1 & info [ "scale" ] ~doc)
@@ -490,67 +619,77 @@ let dump_metrics = function
 
 let run_cmd =
   let doc = "Execute SQL script files." in
-  let run no_rewrite verify fault deadline_ms match_budget auto_maint
-      validate stats health metrics_out files =
+  let run no_rewrite verify fault crash deadline_ms match_budget auto_maint
+      validate stats health metrics_out durability fsync checkpoint_every
+      files =
     arm_faults fault;
+    arm_crashes crash;
     set_validate validate;
-    let session =
-      make_session ~rewrite:(not no_rewrite) ~verify
-        ~budget:(limits_of ~deadline_ms ~match_budget)
-        ~auto_maint ~demo:false ~scale:1
-    in
     let ok =
-      List.fold_left
-        (fun ok f ->
-          exec_text session (In_channel.with_open_text f In_channel.input_all)
-          && ok)
-        true files
+      with_session ~rewrite:(not no_rewrite) ~verify
+        ~budget:(limits_of ~deadline_ms ~match_budget)
+        ~auto_maint ~demo:false ~scale:1 ~durability ~fsync ~checkpoint_every
+        (fun session durable ->
+          let ok =
+            List.fold_left
+              (fun ok f ->
+                exec_text session
+                  (In_channel.with_open_text f In_channel.input_all)
+                && ok)
+              true files
+          in
+          if stats then print_stats session;
+          if health then print_health ?durable session;
+          ok)
     in
-    if stats then print_stats session;
-    if health then print_health session;
     dump_metrics metrics_out;
     if not ok then Stdlib.exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
-      $ match_budget_arg $ auto_maint_flag $ validate_arg $ stats_flag
-      $ health_flag $ metrics_out_arg $ files_arg)
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ crash_arg
+      $ deadline_arg $ match_budget_arg $ auto_maint_flag $ validate_arg
+      $ stats_flag $ health_flag $ metrics_out_arg $ durability_arg
+      $ fsync_arg $ checkpoint_every_arg $ files_arg)
 
 let repl_cmd =
   let doc = "Interactive shell over an empty database." in
-  let run no_rewrite verify fault deadline_ms match_budget auto_maint
-      validate metrics_out =
+  let run no_rewrite verify fault crash deadline_ms match_budget auto_maint
+      validate metrics_out durability fsync checkpoint_every =
     arm_faults fault;
+    arm_crashes crash;
     set_validate validate;
-    repl
-      (make_session ~rewrite:(not no_rewrite) ~verify
-         ~budget:(limits_of ~deadline_ms ~match_budget)
-         ~auto_maint ~demo:false ~scale:1);
+    with_session ~rewrite:(not no_rewrite) ~verify
+      ~budget:(limits_of ~deadline_ms ~match_budget)
+      ~auto_maint ~demo:false ~scale:1 ~durability ~fsync ~checkpoint_every
+      (fun session durable -> repl ?durable session);
     dump_metrics metrics_out
   in
   Cmd.v (Cmd.info "repl" ~doc)
     Term.(
-      const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
-      $ match_budget_arg $ auto_maint_flag $ validate_arg $ metrics_out_arg)
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ crash_arg
+      $ deadline_arg $ match_budget_arg $ auto_maint_flag $ validate_arg
+      $ metrics_out_arg $ durability_arg $ fsync_arg $ checkpoint_every_arg)
 
 let demo_cmd =
   let doc = "Interactive shell preloaded with the paper's star schema." in
-  let run no_rewrite verify fault deadline_ms match_budget auto_maint
-      validate scale metrics_out =
+  let run no_rewrite verify fault crash deadline_ms match_budget auto_maint
+      validate scale metrics_out durability fsync checkpoint_every =
     arm_faults fault;
+    arm_crashes crash;
     set_validate validate;
-    repl
-      (make_session ~rewrite:(not no_rewrite) ~verify
-         ~budget:(limits_of ~deadline_ms ~match_budget)
-         ~auto_maint ~demo:true ~scale);
+    with_session ~rewrite:(not no_rewrite) ~verify
+      ~budget:(limits_of ~deadline_ms ~match_budget)
+      ~auto_maint ~demo:true ~scale ~durability ~fsync ~checkpoint_every
+      (fun session durable -> repl ?durable session);
     dump_metrics metrics_out
   in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const run $ rewrite_flag $ verify_arg $ fault_arg $ deadline_arg
-      $ match_budget_arg $ auto_maint_flag $ validate_arg $ scale_arg
-      $ metrics_out_arg)
+      const run $ rewrite_flag $ verify_arg $ fault_arg $ crash_arg
+      $ deadline_arg $ match_budget_arg $ auto_maint_flag $ validate_arg
+      $ scale_arg $ metrics_out_arg $ durability_arg $ fsync_arg
+      $ checkpoint_every_arg)
 
 let advise_cmd =
   let doc =
@@ -693,9 +832,17 @@ let connect_cmd =
   let conn_files =
     Arg.(value & pos_right 0 non_dir_file [] & info [] ~docv:"FILE")
   in
-  let run addr sql files =
+  let retry_arg =
+    let doc =
+      "Retry connection establishment up to $(docv) times with bounded \
+       exponential backoff (50ms doubling, capped at 1s) — for scripts \
+       racing a server that is still booting or recovering a WAL."
+    in
+    Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N" ~doc)
+  in
+  let run addr retries sql files =
     let client =
-      try Server.Client.connect addr
+      try Server.Client.connect ~retries addr
       with
       | Unix.Unix_error (e, _, _) ->
           Printf.eprintf "cannot connect to %s: %s\n" addr
@@ -724,7 +871,7 @@ let connect_cmd =
     end
   in
   Cmd.v (Cmd.info "connect" ~doc)
-    Term.(const run $ addr_pos $ exec_arg $ conn_files)
+    Term.(const run $ addr_pos $ retry_arg $ exec_arg $ conn_files)
 
 let () =
   let doc = "answering complex SQL queries using automatic summary tables" in

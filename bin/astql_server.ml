@@ -32,6 +32,15 @@ let arm_faults = function
           Printf.eprintf "bad --fault spec: %s\n" m;
           Stdlib.exit 2)
 
+let arm_crashes = function
+  | None -> ()
+  | Some spec -> (
+      match Guard.Fault.arm_crash_spec spec with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "bad --crash spec: %s\n" m;
+          Stdlib.exit 2)
+
 let set_validate = function None -> () | Some l -> Lint.Level.set l
 
 let preload session file =
@@ -60,9 +69,19 @@ let seed_session ~rewrite ~budget ~auto_maint ~demo ~scale files =
   List.iter (preload session) files;
   session
 
+(* With durability on, the recovered shared state is canonical. Seed data
+   (demo/FILEs) only applies to a database recovered empty — the WAL and
+   checkpoints already hold everything else — and is folded into a
+   checkpoint immediately so it survives a crash before the first commit. *)
+let state_empty shared =
+  let snap = Mvstore.Shared.snapshot shared in
+  Catalog.tables (Engine.Db.catalog snap.Mvstore.Shared.sn_db) = []
+
 let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
-    match_budget validate fault metrics_out demo scale files =
+    match_budget validate fault crash metrics_out demo scale durability fsync
+    checkpoint_every drain_ms files =
   arm_faults fault;
+  arm_crashes crash;
   set_validate validate;
   let rewrite = not no_rewrite in
   let budget = limits_of ~deadline_ms ~match_budget in
@@ -73,8 +92,62 @@ let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
         Printf.eprintf "bad --addr %S: %s\n" addr m;
         Stdlib.exit 2
   in
-  let seed = seed_session ~rewrite ~budget ~auto_maint ~demo ~scale files in
-  let shared = Mvstore.Session.share seed in
+  let durable =
+    match durability with
+    | None -> None
+    | Some dir ->
+        let cfg =
+          {
+            Durable.Manager.c_dir = dir;
+            c_fsync = fsync;
+            c_checkpoint_every = checkpoint_every;
+          }
+        in
+        let mgr, shared, report = Durable.Manager.recover cfg in
+        Printf.eprintf "astql-server: durability on — %s\n%!"
+          (Durable.Manager.describe_report report);
+        Some (mgr, shared, report)
+  in
+  let shared =
+    match durable with
+    | None ->
+        Mvstore.Session.share
+          (seed_session ~rewrite ~budget ~auto_maint ~demo ~scale files)
+    | Some (mgr, shared, _) ->
+        if demo || files <> [] then
+          if state_empty shared then begin
+            let seed =
+              seed_session ~rewrite ~budget ~auto_maint ~demo ~scale files
+            in
+            Mvstore.Shared.with_write shared (fun _ ->
+                ( {
+                    Mvstore.Shared.sn_db = Mvstore.Session.db seed;
+                    sn_store = Mvstore.Session.store seed;
+                  },
+                  () ));
+            Durable.Manager.checkpoint mgr
+          end
+          else
+            Printf.eprintf
+              "astql-server: recovered state is non-empty; ignoring seed \
+               data (--demo/FILE)\n\
+               %!";
+        shared
+  in
+  let quarantined =
+    match durable with Some (_, _, r) -> r.Durable.Manager.r_quarantined | None -> []
+  in
+  let mk_session () =
+    let s = Mvstore.Session.attach ~rewrite ~budget ~auto_maint shared in
+    (match durable with
+    | Some (mgr, _, _) -> Durable.Manager.bind mgr s
+    | None -> ());
+    (* summaries the recovery ladder emptied: enqueue for self-healing
+       rebuild (idempotent — the first session to refresh wins, the rest
+       observe freshness and drop the task) *)
+    List.iter (Mvstore.Maint.enqueue (Mvstore.Session.maint s)) quarantined;
+    s
+  in
   let srv =
     match
       Server.Listener.start
@@ -84,8 +157,7 @@ let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
           cf_queue_depth = queue_depth;
           cf_backlog = backlog;
         }
-        ~mk_session:(fun () ->
-          Mvstore.Session.attach ~rewrite ~budget ~auto_maint shared)
+        ~mk_session
     with
     | srv -> srv
     | exception Unix.Unix_error (e, _, _) ->
@@ -110,8 +182,18 @@ let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
   while not (Atomic.get stop_requested) do
     try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  Printf.eprintf "astql-server: shutting down\n%!";
-  Server.Listener.stop srv;
+  Printf.eprintf "astql-server: shutting down (draining up to %d ms)\n%!"
+    drain_ms;
+  Server.Listener.stop ~drain_ms srv;
+  (match durable with
+  | None -> ()
+  | Some (mgr, _, _) ->
+      (* every request is done or disconnected: fold the log into a final
+         checkpoint so the next boot skips replay entirely *)
+      Durable.Manager.checkpoint mgr;
+      Durable.Manager.close mgr;
+      Printf.eprintf "astql-server: final checkpoint at lsn %d\n%!"
+        (Durable.Manager.checkpoint_lsn mgr));
   match metrics_out with
   | None -> ()
   | Some path -> (
@@ -191,6 +273,68 @@ let fault_arg =
   in
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
 
+let crash_arg =
+  let doc =
+    "Arm crash-injection points (testing): comma-separated \
+     $(i,point)[:$(i,N)] over $(b,wal_append), $(b,wal_fsync), \
+     $(b,checkpoint_write), $(b,checkpoint_rename) — the Nth hit SIGKILLs \
+     the process at that exact durability step, exactly like kill -9."
+  in
+  let env = Cmd.Env.info "ASTQL_CRASH" ~doc:"Default crash spec." in
+  Arg.(value & opt (some string) None & info [ "crash" ] ~env ~docv:"SPEC" ~doc)
+
+let durability_arg =
+  let doc =
+    "Durability directory (WAL + checkpoints). On boot the newest valid \
+     checkpoint is loaded and the WAL suffix replayed; afterwards every \
+     committed write statement is logged before it is published. Unset = \
+     in-memory only."
+  in
+  let env = Cmd.Env.info "ASTQL_DURABILITY" ~doc:"Default durability directory." in
+  Arg.(
+    value & opt (some string) None & info [ "durability" ] ~env ~docv:"DIR" ~doc)
+
+let fsync_conv =
+  let parse s =
+    match Durable.Wal.fsync_policy_of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Durable.Wal.fsync_policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let fsync_arg =
+  let doc =
+    "WAL fsync policy: $(b,always) (every commit), $(b,interval:N) (every \
+     N commits), or $(b,off) (the OS decides)."
+  in
+  let env = Cmd.Env.info "ASTQL_FSYNC" ~doc:"Default WAL fsync policy." in
+  Arg.(
+    value
+    & opt fsync_conv Durable.Wal.Always
+    & info [ "fsync" ] ~env ~docv:"POLICY" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Fold the WAL into a fresh checkpoint every $(docv) commits (0 = only \
+     at shutdown)."
+  in
+  let env =
+    Cmd.Env.info "ASTQL_CHECKPOINT_EVERY" ~doc:"Default checkpoint interval."
+  in
+  Arg.(
+    value & opt int 64 & info [ "checkpoint-every" ] ~env ~docv:"N" ~doc)
+
+let drain_ms_arg =
+  let doc =
+    "On SIGTERM/SIGINT, give requests already executing up to $(docv) \
+     milliseconds to finish and flush before forcing disconnection."
+  in
+  let env = Cmd.Env.info "ASTQL_DRAIN_MS" ~doc:"Default drain bound." in
+  Arg.(value & opt int 2000 & info [ "drain-ms" ] ~env ~docv:"MS" ~doc)
+
 let metrics_out_arg =
   let doc =
     "Write the metrics registry (including the $(b,server.*) serving \
@@ -218,5 +362,6 @@ let () =
           Term.(
             const serve $ addr_arg $ domains_arg $ queue_depth_arg
             $ backlog_arg $ no_rewrite_flag $ auto_maint_flag $ deadline_arg
-            $ match_budget_arg $ validate_arg $ fault_arg $ metrics_out_arg
-            $ demo_flag $ scale_arg $ files_arg)))
+            $ match_budget_arg $ validate_arg $ fault_arg $ crash_arg
+            $ metrics_out_arg $ demo_flag $ scale_arg $ durability_arg
+            $ fsync_arg $ checkpoint_every_arg $ drain_ms_arg $ files_arg)))

@@ -1,0 +1,27 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table driven.
+   OCaml ints are at least 63 bits on every supported platform, so the
+   32-bit arithmetic is done in plain ints masked to 32 bits. *)
+
+let mask = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub s pos len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub";
+  let t = Lazy.force table in
+  let c = ref mask in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor mask
+
+let string s = sub s 0 (String.length s)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), as used by gzip/zip.
+
+    Guards every WAL record against torn writes and bit rot: the frame
+    carries the checksum of its payload, and the recovery reader treats a
+    mismatch as end-of-log (torn tail) rather than data. Pure OCaml, table
+    driven; checksums are returned as non-negative [int]s in
+    [0, 0xFFFFFFFF]. *)
+
+(** Checksum of a whole string. *)
+val string : string -> int
+
+(** [sub s pos len] checksums a substring. Raises [Invalid_argument] on an
+    out-of-bounds range. *)
+val sub : string -> int -> int -> int

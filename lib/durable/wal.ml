@@ -1,0 +1,186 @@
+(* Framed, checksummed, torn-tail-tolerant write-ahead log.
+
+   Each record is one line: <len-hex-8>:<crc-hex-8>:<json>\n. Appends go
+   straight to the fd (no channel buffering) so a crash can only lose or
+   tear the record being written, never reorder earlier ones; the reader
+   stops at the first invalid frame and reports the valid prefix length. *)
+
+module J = Obs.Json
+
+type fsync_policy = Always | Interval of int | Off
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "off" | "none" -> Ok Off
+  | s -> (
+      let num =
+        if String.length s > 9 && String.sub s 0 9 = "interval:" then
+          Some (String.sub s 9 (String.length s - 9))
+        else if String.length s > 9 && String.sub s 0 9 = "interval=" then
+          Some (String.sub s 9 (String.length s - 9))
+        else Some s
+      in
+      match Option.bind num int_of_string_opt with
+      | Some n when n > 0 -> Ok (Interval n)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad fsync policy %S (expected always, off, or interval:N)" s))
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Off -> "off"
+  | Interval n -> Printf.sprintf "interval:%d" n
+
+type writer = {
+  w_fd : Unix.file_descr;
+  w_policy : fsync_policy;
+  mutable w_unsynced : int;  (* appends since the last fsync *)
+}
+
+let open_writer ?(policy = Always) path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { w_fd = fd; w_policy = policy; w_unsynced = 0 }
+
+let policy w = w.w_policy
+
+let write_fully fd s pos len =
+  let b = Bytes.unsafe_of_string s in
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    let n = Unix.write fd b !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+let frame json =
+  let payload = J.to_string json in
+  Printf.sprintf "%08x:%08x:%s\n" (String.length payload)
+    (Crc32.string payload) payload
+
+let m_fsyncs = Obs.Metrics.counter "durable.wal_fsyncs"
+
+let do_sync w =
+  Guard.Fault.crash_hit Guard.Fault.Wal_fsync;
+  Unix.fsync w.w_fd;
+  Obs.Metrics.incr m_fsyncs;
+  w.w_unsynced <- 0
+
+let sync w = if w.w_unsynced > 0 then do_sync w
+
+let append w json =
+  let line = frame json in
+  if Guard.Fault.crash_fire Guard.Fault.Wal_append then begin
+    (* torn write: half the frame reaches the file, then kill -9 *)
+    write_fully w.w_fd line 0 (String.length line / 2);
+    Guard.Fault.crash_now ()
+  end;
+  (* an append that fails part-way (e.g. ENOSPC) must not leave a torn
+     record mid-file — the reader would treat everything after it as lost.
+     Chop back to the pre-append length before re-raising. *)
+  let start = (Unix.fstat w.w_fd).Unix.st_size in
+  (try write_fully w.w_fd line 0 (String.length line)
+   with e ->
+     (try Unix.ftruncate w.w_fd start with Unix.Unix_error _ -> ());
+     raise e);
+  w.w_unsynced <- w.w_unsynced + 1;
+  match w.w_policy with
+  | Always -> do_sync w
+  | Interval n -> if w.w_unsynced >= n then do_sync w
+  | Off -> ()
+
+let close w =
+  (try sync w with Unix.Unix_error _ -> ());
+  Unix.close w.w_fd
+
+(* ---------------- reading ---------------- *)
+
+type read_result = {
+  records : J.t list;
+  valid_bytes : int;
+  torn_bytes : int;
+}
+
+let hex8 s pos =
+  let ok = ref true in
+  for i = pos to pos + 7 do
+    match s.[i] with
+    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+    | _ -> ok := false
+  done;
+  if !ok then int_of_string_opt ("0x" ^ String.sub s pos 8) else None
+
+let read path =
+  match
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic))))
+    else None
+  with
+  | None -> { records = []; valid_bytes = 0; torn_bytes = 0 }
+  | Some s ->
+      let size = String.length s in
+      let records = ref [] in
+      let pos = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let o = !pos in
+        (* header is "llllllll:cccccccc:" = 18 bytes *)
+        if o + 18 > size then stop := true
+        else if s.[o + 8] <> ':' || s.[o + 17] <> ':' then stop := true
+        else
+          match (hex8 s o, hex8 s (o + 9)) with
+          | Some len, Some crc when o + 18 + len < size ->
+              if s.[o + 18 + len] <> '\n' then stop := true
+              else
+                let payload = String.sub s (o + 18) len in
+                if Crc32.string payload <> crc then stop := true
+                else (
+                  match J.of_string payload with
+                  | Ok json ->
+                      records := json :: !records;
+                      pos := o + 18 + len + 1
+                  | Error _ -> stop := true)
+          | _ -> stop := true
+      done;
+      {
+        records = List.rev !records;
+        valid_bytes = !pos;
+        torn_bytes = size - !pos;
+      }
+
+let truncate path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd len)
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()  (* not fsyncable on this platform *)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let replace path records =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      List.iter
+        (fun json ->
+          let line = frame json in
+          write_fully fd line 0 (String.length line))
+        records;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir path

@@ -1,0 +1,66 @@
+(** The logical write-ahead log: framed, checksummed, torn-tail tolerant.
+
+    One record per committed write statement, one line per record:
+
+    {v <len-hex-8>:<crc-hex-8>:<payload-json>\n v}
+
+    [len] is the byte length of the JSON payload, [crc] its CRC-32
+    ({!Crc32}). The reader stops at the first frame that is short,
+    mis-checksummed or unparseable and reports how many bytes were valid —
+    a process killed mid-append leaves a torn tail, which recovery
+    truncates away rather than treating as corruption. What a record
+    {e means} (LSN, statement, rows) is the {!Manager}'s business; this
+    module only moves checksummed JSON lines safely.
+
+    Crash-injection points ({!Guard.Fault}): an armed [Wal_append] writes
+    half a frame and SIGKILLs (a torn tail, exactly what recovery must
+    tolerate); an armed [Wal_fsync] SIGKILLs after the write but before the
+    fsync. *)
+
+type fsync_policy =
+  | Always          (** fsync after every append (group of one) *)
+  | Interval of int (** fsync every N appends *)
+  | Off             (** never fsync; the OS decides when data reaches disk *)
+
+(** Parses ["always"], ["off"], and ["interval:N"] / ["interval=N"] / a bare
+    positive integer [N]. *)
+val fsync_policy_of_string : string -> (fsync_policy, string) result
+
+val fsync_policy_to_string : fsync_policy -> string
+
+type writer
+
+(** Open (creating if needed) a WAL for appending. *)
+val open_writer : ?policy:fsync_policy -> string -> writer
+
+(** Append one record and apply the fsync policy. Raises [Unix.Unix_error]
+    on I/O failure — callers treat that as statement failure
+    (append-before-publish). *)
+val append : writer -> Obs.Json.t -> unit
+
+(** Force an fsync regardless of policy (no-op on a clean log). *)
+val sync : writer -> unit
+
+val close : writer -> unit
+val policy : writer -> fsync_policy
+
+(** One framed line, newline included (for tests and {!replace}). *)
+val frame : Obs.Json.t -> string
+
+type read_result = {
+  records : Obs.Json.t list;  (** valid records, in log order *)
+  valid_bytes : int;          (** file prefix covered by valid records *)
+  torn_bytes : int;           (** trailing bytes past the last valid record *)
+}
+
+(** Read a WAL leniently. A missing file reads as empty; a torn or
+    corrupted tail ends the log instead of failing it. *)
+val read : string -> read_result
+
+(** Truncate a file to [len] bytes (recovery chops the torn tail before
+    appending resumes). *)
+val truncate : string -> int -> unit
+
+(** Atomically replace the WAL's contents with the given records (tmp file
+    + fsync + rename) — used to drop records a checkpoint now covers. *)
+val replace : string -> Obs.Json.t list -> unit

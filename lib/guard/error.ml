@@ -17,6 +17,7 @@ type stage =
   | Verify
   | Refresh
   | Accept
+  | Durability
 
 type kind =
   | Injected                 (* Fault.Injected: deterministic test fault *)
@@ -49,6 +50,7 @@ let stage_name = function
   | Verify -> "verify"
   | Refresh -> "refresh"
   | Accept -> "accept"
+  | Durability -> "durability"
 
 let stage_of_point = function
   | Fault.Navigate -> Navigate
@@ -59,6 +61,9 @@ let stage_of_point = function
   | Fault.Refresh -> Refresh
   | Fault.Delay -> Match
   | Fault.Accept -> Accept
+  | Fault.Wal_append | Fault.Wal_fsync | Fault.Checkpoint_write
+  | Fault.Checkpoint_rename ->
+      Durability
 
 let kind_name = function
   | Injected -> "injected fault"

@@ -16,6 +16,7 @@ type stage =
   | Verify       (** runtime result verification *)
   | Refresh      (** summary-table maintenance (auto or manual refresh) *)
   | Accept       (** server connection accept/handler path *)
+  | Durability   (** WAL append / fsync / checkpoint path (lib/durable) *)
 
 type kind =
   | Injected              (** {!Fault.Injected}: deterministic test fault *)

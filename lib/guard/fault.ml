@@ -17,6 +17,10 @@ type point =
   | Refresh
   | Delay
   | Accept
+  | Wal_append
+  | Wal_fsync
+  | Checkpoint_write
+  | Checkpoint_rename
 
 exception Injected of point
 
@@ -29,9 +33,16 @@ let point_name = function
   | Refresh -> "refresh"
   | Delay -> "delay"
   | Accept -> "accept"
+  | Wal_append -> "wal_append"
+  | Wal_fsync -> "wal_fsync"
+  | Checkpoint_write -> "checkpoint_write"
+  | Checkpoint_rename -> "checkpoint_rename"
 
 let all_points =
-  [ Navigate; Match; Compensate; Translate; Corrupt; Refresh; Delay; Accept ]
+  [
+    Navigate; Match; Compensate; Translate; Corrupt; Refresh; Delay; Accept;
+    Wal_append; Wal_fsync; Checkpoint_write; Checkpoint_rename;
+  ]
 
 let idx = function
   | Navigate -> 0
@@ -42,9 +53,15 @@ let idx = function
   | Refresh -> 5
   | Delay -> 6
   | Accept -> 7
+  | Wal_append -> 8
+  | Wal_fsync -> 9
+  | Checkpoint_write -> 10
+  | Checkpoint_rename -> 11
+
+let n_points = 12
 
 (* remaining hits before the point fires; None = disarmed *)
-let countdown : int option array = Array.make 8 None
+let countdown : int option array = Array.make n_points None
 
 let arm p ~after =
   if after <= 0 then invalid_arg "Fault.arm: after must be positive";
@@ -125,6 +142,82 @@ let arm_spec spec =
 
 let seed_of_env () =
   Option.bind (Sys.getenv_opt "ASTQL_FAULT_SEED") int_of_string_opt
+
+(* ---------------- crash injection ---------------- *)
+
+(* Crash points simulate a power-cut at an exact durability step: when an
+   armed crash countdown reaches zero the process SIGKILLs itself — no
+   handlers, no atexit, no flushing — exactly what kill -9 leaves behind.
+   The torture harness arms these through ASTQL_CRASH and asserts that
+   recovery replays every acknowledged write. Kept separate from the
+   [countdown] array so exception-based tests ([arm]/[hit]) and
+   crash-based runs ([arm_crash]) cannot interfere. *)
+
+let crash_countdown : int option array = Array.make n_points None
+
+let arm_crash p ~after =
+  if after <= 0 then invalid_arg "Fault.arm_crash: after must be positive";
+  crash_countdown.(idx p) <- Some after
+
+let crash_armed p = crash_countdown.(idx p) <> None
+
+let crash_fire p =
+  match crash_countdown.(idx p) with
+  | None -> false
+  | Some 1 ->
+      crash_countdown.(idx p) <- None;
+      true
+  | Some n ->
+      crash_countdown.(idx p) <- Some (n - 1);
+      false
+
+let crash_now () =
+  (* SIGKILL cannot be caught; the pause loop covers the delivery window *)
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  while true do
+    Unix.sleepf 0.01
+  done;
+  assert false
+
+let crash_hit p = if crash_fire p then crash_now ()
+
+let arm_crash_spec spec =
+  let arm_one item =
+    let item = String.trim item in
+    if item = "" then Ok ()
+    else
+      let name, after =
+        match String.index_opt item ':' with
+        | None -> (item, Some 1)
+        | Some i ->
+            ( String.sub item 0 i,
+              int_of_string_opt
+                (String.trim
+                   (String.sub item (i + 1) (String.length item - i - 1))) )
+      in
+      match (point_of_name name, after) with
+      | None, _ ->
+          Error
+            (Printf.sprintf
+               "unknown crash point %S (expected one of: %s)" name
+               (String.concat ", " (List.map point_name all_points)))
+      | Some _, None ->
+          Error (Printf.sprintf "bad count in %S (expected point:N, N >= 1)" item)
+      | Some _, Some n when n <= 0 ->
+          Error (Printf.sprintf "bad count in %S (expected point:N, N >= 1)" item)
+      | Some p, Some n ->
+          arm_crash p ~after:n;
+          Ok ()
+  in
+  List.fold_left
+    (fun acc item -> match acc with Error _ -> acc | Ok () -> arm_one item)
+    (Ok ())
+    (String.split_on_char ',' spec)
+
+let arm_crash_env () =
+  match Sys.getenv_opt "ASTQL_CRASH" with
+  | None | Some "" -> Ok ()
+  | Some spec -> arm_crash_spec spec
 
 (* ---------------- result corruption ---------------- *)
 

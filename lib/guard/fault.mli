@@ -18,6 +18,10 @@ type point =
   | Refresh      (** summary-table refresh (maintenance path) *)
   | Delay        (** stall at the match site (via {!maybe_delay}) *)
   | Accept       (** server connection accept/handler path *)
+  | Wal_append   (** WAL record write (crash leaves a torn tail) *)
+  | Wal_fsync    (** WAL fsync (crash loses the un-synced suffix) *)
+  | Checkpoint_write   (** checkpoint temp-file write (crash mid-write) *)
+  | Checkpoint_rename  (** checkpoint atomic rename (crash just before) *)
 
 exception Injected of point
 
@@ -57,6 +61,39 @@ val maybe_delay : unit -> unit
 (** [ASTQL_FAULT_SEED] from the environment, when set and numeric (used by
     the randomized fault-injection tests and the CI matrix job). *)
 val seed_of_env : unit -> int option
+
+(** {1 Crash injection}
+
+    Crash points simulate [kill -9] at an exact durability step: when an
+    armed crash countdown fires, the process SIGKILLs itself — no handlers
+    run, nothing is flushed. The countdowns are independent of the
+    exception-raising [arm]/[hit] machinery, so in-process tests and the
+    crash-torture harness never interfere. The durability layer places
+    [crash_fire]/[crash_hit] at WAL append, WAL fsync, checkpoint write and
+    checkpoint rename. *)
+
+(** Arm a crash at the [after]th subsequent crash-hit of [p] (one-shot). *)
+val arm_crash : point -> after:int -> unit
+
+val crash_armed : point -> bool
+
+(** Consume one crash-hit; [true] exactly when the countdown reaches zero
+    (the caller may first make the on-disk state deliberately torn, then
+    call {!crash_now}). *)
+val crash_fire : point -> bool
+
+(** SIGKILL the current process (never returns). *)
+val crash_now : unit -> 'a
+
+(** [crash_fire], killing the process when it fires. *)
+val crash_hit : point -> unit
+
+(** Parse and arm a crash spec like ["wal_append:3,checkpoint_rename"]
+    (missing count = 1). *)
+val arm_crash_spec : string -> (unit, string) result
+
+(** Arm from the [ASTQL_CRASH] environment variable, when set. *)
+val arm_crash_env : unit -> (unit, string) result
 
 (** A minimal always-detectable perturbation of one value (simulates a
     compensation deriving an aggregate column incorrectly). *)

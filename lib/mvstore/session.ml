@@ -9,6 +9,13 @@ let norm = String.lowercase_ascii
 
 type verify = Off | Sampled of float | Always
 
+(* What the durability layer logs for one committed write statement. SQL
+   statements re-execute verbatim at replay; COPY FROM logs the loaded rows
+   themselves (the source file may be gone by recovery time). *)
+type commit =
+  | Commit_sql of string
+  | Commit_rows of { cr_table : string; cr_rows : R.row list }
+
 type t = {
   mutable sdb : Engine.Db.t;
   mutable sstore : Store.t;
@@ -26,6 +33,13 @@ type t = {
   mutable slimits : Govern.Budget.limits;  (* per-statement default budget *)
   mutable sauto_maint : bool;   (* drain the maintenance queue at boundaries *)
   smaint : Maint.t;             (* deferred-maintenance queue *)
+  mutable son_commit : (commit -> unit) option;
+      (* durability hook: called inside the write-snapshot closure after the
+         statement body succeeds and before the atomic publish — if it
+         raises, nothing publishes (statement rollback), so a write is never
+         visible without its log record *)
+  mutable scopy_rows : R.row list;
+      (* rows loaded by the current COPY FROM, for the commit record *)
 }
 
 type outcome = Msg of string | Table of R.t | Plan of string
@@ -49,6 +63,8 @@ let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
       | None -> Govern.Budget.default_limits ());
     sauto_maint = auto_maint;
     smaint = Maint.create ();
+    son_commit = None;
+    scopy_rows = [];
   }
 
 let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
@@ -70,6 +86,8 @@ let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
       | None -> Govern.Budget.default_limits ());
     sauto_maint = auto_maint;
     smaint = Maint.create ();
+    son_commit = None;
+    scopy_rows = [];
   }
 
 (* ---------------- shared-state binding ---------------- *)
@@ -123,6 +141,7 @@ let with_snapshot t ~write f =
         f ()
       end
 
+let set_on_commit t hook = t.son_commit <- hook
 let set_rewrite t b = t.srewrite <- b
 let rewrite_enabled t = t.srewrite
 let limits t = t.slimits
@@ -346,6 +365,8 @@ let do_copy_from t table path header =
     | None -> R.empty (Catalog.column_names tbl)
   in
   t.sdb <- Engine.Db.put db' table (R.append current rows);
+  (* stash for the commit record: the CSV file may not exist at replay *)
+  t.scopy_rows <- rows;
   Msg (Printf.sprintf "%d row(s) copied into %s" (List.length rows) table)
 
 let do_copy_to t table path =
@@ -794,14 +815,59 @@ let stmt_writes = function
   | A.Copy_to _ | A.Select _ | A.Explain_rewrite _ | A.Explain_plan _ ->
       false
 
+(* The durability record for a just-executed write statement. COPY FROM
+   logs the rows it loaded (stashed by do_copy_from); everything else
+   round-trips through the pretty-printer and re-executes at replay. *)
+let commit_of t stmt =
+  match stmt with
+  | A.Copy_from { cf_table; _ } ->
+      Commit_rows { cr_table = cf_table; cr_rows = t.scopy_rows }
+  | _ -> Commit_sql (Sqlsyn.Pretty.stmt_to_string stmt)
+
 (* Division_by_zero is a raw OCaml exception wherever the engine evaluates
    expressions (constant folding, INSERT values, predicates, outputs);
    surface it as a proper session error with statement context. *)
 let exec_stmt t stmt =
   drain_maintenance t;
-  with_snapshot t ~write:(stmt_writes stmt) (fun () ->
-      try exec_stmt_dispatch t stmt
-      with Division_by_zero -> err "division by zero in %s" (stmt_label stmt))
+  let write = stmt_writes stmt in
+  with_snapshot t ~write (fun () ->
+      t.scopy_rows <- [];
+      let out =
+        try exec_stmt_dispatch t stmt
+        with Division_by_zero -> err "division by zero in %s" (stmt_label stmt)
+      in
+      (* append-before-publish: a hook failure aborts the whole statement
+         (nothing publishes), so no write is ever visible without its log
+         record. Read-only statements never reach the hook. *)
+      (match t.son_commit with
+      | Some hook when write -> hook (commit_of t stmt)
+      | _ -> ());
+      t.scopy_rows <- [];
+      out)
+
+(* WAL replay of a [Commit_rows] record: the integrity checks and the
+   acknowledged outcome already happened in the crashed process — just fold
+   the rows through summary maintenance and append them. Runs before the
+   durability hook is installed, so nothing is re-logged. *)
+let replay_rows t ~table ~rows =
+  with_snapshot t ~write:true (fun () ->
+      let cat = Engine.Db.catalog t.sdb in
+      let tbl =
+        match Catalog.find_table cat table with
+        | Some tbl -> tbl
+        | None -> err "unknown table %s" table
+      in
+      let store', db', went_stale =
+        Store.apply_insert t.sstore t.sdb ~table ~rows
+      in
+      t.sstore <- store';
+      List.iter (Maint.enqueue t.smaint) went_stale;
+      let current =
+        match Engine.Db.get db' table with
+        | Some r -> r
+        | None -> R.empty (Catalog.column_names tbl)
+      in
+      t.sdb <- Engine.Db.put db' table (R.append current rows))
 
 let exec_sql t sql =
   (* statement-at-a-time: statements before a syntax error have executed

@@ -84,6 +84,29 @@ val share : t -> Shared.t
 (** The shared state this session is bound to, if any. *)
 val shared : t -> Shared.t option
 
+(** One committed write statement, as the durability layer logs it.
+    [Commit_sql] re-executes verbatim at replay; COPY FROM logs the rows it
+    loaded ([Commit_rows]) because the source file may be gone by recovery
+    time. *)
+type commit =
+  | Commit_sql of string
+  | Commit_rows of { cr_table : string; cr_rows : Data.Relation.row list }
+
+(** [set_on_commit t (Some hook)] installs the durability hook: it runs
+    inside the write-snapshot closure after a mutating statement's body
+    succeeds and {e before} the atomic publish, so a hook that raises
+    aborts the whole statement (append-before-publish — no write is ever
+    visible without its log record). Read-only statements never reach it.
+    [None] uninstalls. *)
+val set_on_commit : t -> (commit -> unit) option -> unit
+
+(** WAL replay of a [Commit_rows] record: folds the rows through summary
+    maintenance and appends them, without re-running integrity checks (they
+    passed in the process that logged the record). Raises {!Session_error}
+    if the table does not exist. *)
+val replay_rows :
+  t -> table:string -> rows:Data.Relation.row list -> unit
+
 val set_rewrite : t -> bool -> unit
 val rewrite_enabled : t -> bool
 val set_verify : t -> verify -> unit

@@ -229,6 +229,66 @@ let define store db ~name ~sql =
   in
   (touch { store with s_map = Smap.add (norm name) entry store.s_map }, db)
 
+(* Recovery path: re-register a summary table from its definition SQL and
+   a recovered payload, WITHOUT executing the defining query. The graph and
+   incremental plan are rebuilt against the recovered catalog (they are
+   derived state); the payload rows are trusted as-is — the recovery ladder
+   in Durable.Manager verifies them against a re-derivation afterwards and
+   degrades the entry if they fail. *)
+let restore store db ~name ~sql ~fresh ~rows =
+  if Smap.mem (norm name) store.s_map then
+    err "summary table %s already exists" name;
+  if Catalog.mem_table (Engine.Db.catalog db) name then
+    err "a table named %s already exists" name;
+  let ast_q =
+    try Sqlsyn.Parser.parse_query sql
+    with
+    | Sqlsyn.Parser.Parse_error (m, p) ->
+        err "parse error in recovered summary definition at offset %d: %s" p m
+    | Sqlsyn.Lexer.Lex_error (m, p) ->
+        err "lexical error in recovered summary definition at offset %d: %s" p m
+  in
+  let graph =
+    try Qgm.Builder.build (Engine.Db.catalog db) ast_q
+    with Qgm.Builder.Sem_error m -> err "invalid recovered summary definition: %s" m
+  in
+  let cols = Qgm.Typing.infer_outputs (Engine.Db.catalog db) graph in
+  let contents =
+    try R.create (List.map fst cols) rows
+    with Invalid_argument m -> err "recovered payload for %s: %s" name m
+  in
+  let db = register_catalog db name cols in
+  let db = Engine.Db.put db name contents in
+  let entry =
+    {
+      e_name = name;
+      e_sql = sql;
+      e_graph = graph;
+      e_cols = cols;
+      e_tables = base_tables graph;
+      e_fresh = fresh;
+      e_incr = incr_plan_of (Engine.Db.catalog db) graph;
+      e_version = store.s_epoch + 1;
+    }
+  in
+  (touch { store with s_map = Smap.add (norm name) entry store.s_map }, db)
+
+(* Degraded recovery: drop a payload that failed post-recovery verification
+   and leave the entry stale — excluded from rewriting until the deferred
+   maintenance queue (or a manual REFRESH) rebuilds it. *)
+let quarantine_payload store db name =
+  match find store name with
+  | None -> err "unknown summary table %s" name
+  | Some e ->
+      let db = Engine.Db.put db e.e_name (R.empty (List.map fst e.e_cols)) in
+      ( touch
+          {
+            store with
+            s_map =
+              Smap.add (norm name) { e with e_fresh = false } store.s_map;
+          },
+        db )
+
 let drop store db name =
   match find store name with
   | None -> err "unknown summary table %s" name

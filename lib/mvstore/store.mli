@@ -64,6 +64,22 @@ val define : t -> Engine.Db.t -> name:string -> sql:string -> t * Engine.Db.t
 
 val drop : t -> Engine.Db.t -> string -> t * Engine.Db.t
 
+(** [restore store db ~name ~sql ~fresh ~rows] re-registers a summary table
+    from checkpoint state {e without} executing the defining query: the
+    graph, column types and incremental plan are rebuilt from [sql] against
+    the recovered catalog, and [rows] become the payload as-is. Raises
+    {!Mv_error} on name clashes, an unparseable definition, or a payload
+    whose arity disagrees with the definition. The recovery ladder
+    (Durable.Manager) verifies restored payloads afterwards and calls
+    {!quarantine_payload} on mismatch. *)
+val restore :
+  t -> Engine.Db.t -> name:string -> sql:string -> fresh:bool ->
+  rows:Data.Relation.row list -> t * Engine.Db.t
+
+(** Degraded recovery: empty a summary table's payload and mark it stale,
+    excluding it from rewriting until a refresh rebuilds it. *)
+val quarantine_payload : t -> Engine.Db.t -> string -> t * Engine.Db.t
+
 (** Recompute a summary table from scratch, mark it fresh and move its
     definition version (voiding quarantine observations against the old
     contents). Hits the [Refresh] fault-injection point. With [budget],

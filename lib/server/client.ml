@@ -17,11 +17,32 @@ let connect_addr = function
       in
       connect_sockaddr (Unix.ADDR_INET (inet, port))
 
-let connect s =
+(* Bounded exponential backoff for racing a server that is still booting
+   (or recovering a large WAL): attempt k sleeps 50ms * 2^k, capped at 1s,
+   so --retry 5 spans roughly 1.5s and --retry 10 roughly 8s. Only
+   connection-establishment failures retry; anything after connect(2)
+   succeeds is a real error. *)
+let retry_delay k = Float.min 1.0 (0.05 *. Float.pow 2.0 (float_of_int k))
+
+let connect_retry_addr ~retries addr =
+  let rec go k =
+    match connect_addr addr with
+    | t -> t
+    | exception ((Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+                 | Failure _) as e) ->
+        if k >= retries then raise e
+        else begin
+          Unix.sleepf (retry_delay k);
+          go (k + 1)
+        end
+  in
+  go 0
+
+let connect ?(retries = 0) s =
   (* a dead server must not kill the client process on write *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match Listener.parse_addr s with
-  | Ok addr -> connect_addr addr
+  | Ok addr -> connect_retry_addr ~retries addr
   | Error msg -> failwith msg
 
 let request t ?id ?rewrite sql =

@@ -10,8 +10,14 @@ type t
 (** [connect addr] — same address syntax as the server
     ({!Listener.parse_addr}): ["host:port"] or a Unix-socket path.
     Raises [Failure] on a bad address, [Unix.Unix_error] when the
-    connection is refused. *)
-val connect : string -> t
+    connection is refused.
+
+    [?retries] (default 0) retries connection establishment with bounded
+    exponential backoff (50ms doubling, capped at 1s per wait) — for
+    scripts racing a server that is still booting or recovering a WAL.
+    Only connect-time failures (refused, socket file not there yet,
+    host lookup) retry; errors after a successful connect never do. *)
+val connect : ?retries:int -> string -> t
 
 val connect_addr : Listener.addr -> t
 

@@ -51,6 +51,9 @@ type t = {
      reading an idle client must not stall shutdown forever *)
   conns : (Unix.file_descr, unit) Hashtbl.t;
   conns_m : Mutex.t;
+  (* requests currently executing (not idle connections): what a graceful
+     shutdown drains before force-disconnecting *)
+  inflight : int Atomic.t;
 }
 
 let register_conn t fd =
@@ -97,17 +100,23 @@ let process session line =
           Wire.response_error ~id:rq.Wire.rq_id
             (Wire.error_of_exn ~sql:rq.Wire.rq_sql exn))
 
-let serve_conn session io =
+let serve_conn t session io =
   let rec loop () =
     match Lineio.read_line io with
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
     | Some line ->
         Obs.Metrics.incr m_requests;
-        let resp =
-          Obs.Metrics.time h_request_ms (fun () -> process session line)
-        in
-        Lineio.write_line io (J.to_string resp);
+        (* in-flight from parse to flushed response: a draining shutdown
+           waits for the answer to reach the wire, not just the executor *)
+        Atomic.incr t.inflight;
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr t.inflight)
+          (fun () ->
+            let resp =
+              Obs.Metrics.time h_request_ms (fun () -> process session line)
+            in
+            Lineio.write_line io (J.to_string resp));
         loop ()
     | exception Lineio.Line_too_long ->
         (* hostile or broken peer: one typed error, then hang up *)
@@ -136,7 +145,7 @@ let handle t mk_session fd =
            connection, nothing else *)
         Guard.Fault.hit Guard.Fault.Accept;
         let session = mk_session () in
-        serve_conn session io
+        serve_conn t session io
       with
       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
           () (* peer went away mid-stream: normal hangup *)
@@ -237,6 +246,7 @@ let start config ~mk_session =
       finished = false;
       conns = Hashtbl.create 32;
       conns_m = Mutex.create ();
+      inflight = Atomic.make 0;
     }
   in
   t.accept_dom <- Some (Domain.spawn (accept_loop t mk_session));
@@ -247,7 +257,9 @@ let sockaddr t = t.bound
 let port t =
   match t.bound with Unix.ADDR_INET (_, p) -> Some p | _ -> None
 
-let stop t =
+let inflight t = Atomic.get t.inflight
+
+let stop ?(drain_ms = 0) t =
   if not (Atomic.exchange t.stopped true) then begin
     (* wake the accept loop *)
     (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
@@ -257,6 +269,15 @@ let stop t =
         Domain.join d;
         t.accept_dom <- None
     | None -> ());
+    (* graceful drain: no new connections are accepted any more; give
+       requests already executing up to [drain_ms] to finish and flush
+       before the forced disconnect below cuts the stragglers off *)
+    if drain_ms > 0 then begin
+      let deadline = Obs.Metrics.now_ms () +. float_of_int drain_ms in
+      while Atomic.get t.inflight > 0 && Obs.Metrics.now_ms () < deadline do
+        Unix.sleepf 0.005
+      done
+    end;
     (* force-disconnect live clients so workers drain promptly *)
     disconnect_all t;
     Pool.shutdown t.pool;

@@ -49,8 +49,14 @@ val sockaddr : t -> Unix.sockaddr
 val port : t -> int option
 
 (** Stop accepting, drain accepted work, join all domains, close and (for
-    Unix sockets) unlink. Idempotent. *)
-val stop : t -> unit
+    Unix sockets) unlink. Idempotent. With [drain_ms > 0] (default 0),
+    requests already executing get up to that many milliseconds to finish
+    and flush their responses before idle and straggling connections are
+    force-disconnected — graceful shutdown for SIGTERM. *)
+val stop : ?drain_ms:int -> t -> unit
+
+(** Requests currently executing (diagnostics). *)
+val inflight : t -> int
 
 (** Block until {!stop} is called from another domain/signal context. *)
 val wait : t -> unit

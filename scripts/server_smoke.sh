@@ -15,6 +15,8 @@ SOCK=$(mktemp -u "${TMPDIR:-/tmp}/astql-smoke-XXXXXX.sock")
 METRICS=$(mktemp "${TMPDIR:-/tmp}/astql-smoke-metrics-XXXXXX.json")
 ERRTXT=$(mktemp "${TMPDIR:-/tmp}/astql-smoke-err-XXXXXX.txt")
 
+DURDIR=$(mktemp -d "${TMPDIR:-/tmp}/astql-smoke-dur-XXXXXX")
+
 SERVER_PID=
 cleanup() {
   if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
@@ -22,6 +24,7 @@ cleanup() {
     wait "$SERVER_PID" 2>/dev/null || true
   fi
   rm -f "$SOCK" "$METRICS" "$ERRTXT"
+  rm -rf "$DURDIR"
 }
 trap cleanup EXIT
 
@@ -29,17 +32,14 @@ trap cleanup EXIT
   --addr "$SOCK" --domains 2 --queue-depth 16 --metrics-out "$METRICS" &
 SERVER_PID=$!
 
-for _ in $(seq 1 100); do
-  [ -S "$SOCK" ] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died during startup"; exit 1; }
-  sleep 0.1
-done
-[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
-
+# no sleep-polling for the socket: the client retries connection
+# establishment with bounded exponential backoff while the server boots
 echo "== example scripts through the client =="
+first=--retry=10
 for f in examples/*.sql; do
   echo "--- $f"
-  ./_build/default/bin/astql.exe connect "$SOCK" "$f"
+  ./_build/default/bin/astql.exe connect $first "$SOCK" "$f"
+  first=
 done
 
 echo "== typed-error round trip =="
@@ -71,5 +71,34 @@ grep -q '"server.requests"' "$METRICS" || {
 grep -q '"server.connections"' "$METRICS" || {
   echo "FAIL: server.connections missing from metrics dump"; exit 1;
 }
+
+echo "== durability: drain on SIGTERM, final checkpoint, recovery =="
+./_build/default/bin/astql_server.exe \
+  --addr "$SOCK" --domains 2 --durability "$DURDIR" --drain-ms 2000 &
+SERVER_PID=$!
+
+./_build/default/bin/astql.exe connect --retry 10 "$SOCK" \
+  -e 'CREATE TABLE d (a INT NOT NULL); INSERT INTO d VALUES (1), (2), (3);'
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: durable server exited non-zero on SIGTERM"; exit 1; }
+SERVER_PID=
+
+ls "$DURDIR"/ckpt-*.json >/dev/null 2>&1 || {
+  echo "FAIL: no final checkpoint written on SIGTERM"; exit 1;
+}
+
+./_build/default/bin/astql_server.exe \
+  --addr "$SOCK" --domains 2 --durability "$DURDIR" &
+SERVER_PID=$!
+
+./_build/default/bin/astql.exe connect --retry 10 "$SOCK" \
+  -e 'SELECT COUNT(*) AS n FROM d;' | grep -q '| 3 ' || {
+  echo "FAIL: rebooted server lost committed writes"; exit 1;
+}
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: server exited non-zero on SIGTERM"; exit 1; }
+SERVER_PID=
 
 echo "server smoke OK"

@@ -343,6 +343,63 @@ let test_unix_socket_and_rewrite_opt () =
           | Error e -> Alcotest.fail (Server.Wire.error_to_string e)));
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
+(* --- Lineio edge cases -------------------------------------------------- *)
+
+(* A Lineio reader over the bytes of a temp file — read_line only needs a
+   readable fd, so a file stands in for a socket. *)
+let with_lineio_over bytes f =
+  let path = Filename.temp_file "astql-lineio" ".txt" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes);
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let io = Server.Lineio.make fd in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Lineio.close io;
+      Sys.remove path)
+    (fun () -> f io)
+
+let test_lineio_torn_line_at_eof () =
+  with_lineio_over "complete\ntorn tail no newline" (fun io ->
+      Alcotest.(check (option string))
+        "whole line" (Some "complete")
+        (Server.Lineio.read_line io);
+      (* a peer that dies mid-line: the partial line is surfaced once... *)
+      Alcotest.(check (option string))
+        "torn line at EOF" (Some "torn tail no newline")
+        (Server.Lineio.read_line io);
+      (* ...and EOF is stable afterwards *)
+      Alcotest.(check (option string)) "eof" None (Server.Lineio.read_line io);
+      Alcotest.(check (option string)) "eof again" None
+        (Server.Lineio.read_line io))
+
+let test_lineio_line_cap () =
+  let cap = Server.Lineio.max_line_bytes in
+  (* exactly at the cap passes — the limit is on exceeding it *)
+  with_lineio_over (String.make cap 'a' ^ "\nnext\n") (fun io ->
+      (match Server.Lineio.read_line io with
+      | Some l -> Alcotest.(check int) "exactly-at-cap length" cap (String.length l)
+      | None -> Alcotest.fail "line at cap must be readable");
+      Alcotest.(check (option string))
+        "stream continues" (Some "next")
+        (Server.Lineio.read_line io));
+  (* one byte over raises instead of buffering without bound *)
+  with_lineio_over (String.make (cap + 1) 'a' ^ "\n") (fun io ->
+      match Server.Lineio.read_line io with
+      | exception Server.Lineio.Line_too_long -> ()
+      | _ -> Alcotest.fail "over-cap line must raise Line_too_long")
+
+let test_lineio_crlf () =
+  with_lineio_over "a\r\nb\nc\r\r\n\r\ntorn\r" (fun io ->
+      let next () = Server.Lineio.read_line io in
+      Alcotest.(check (option string)) "crlf stripped" (Some "a") (next ());
+      Alcotest.(check (option string)) "bare lf untouched" (Some "b") (next ());
+      (* only the final CR of a CRLF is protocol framing *)
+      Alcotest.(check (option string)) "inner cr kept" (Some "c\r") (next ());
+      Alcotest.(check (option string)) "empty crlf line" (Some "") (next ());
+      (* CR stripping applies to the torn-at-EOF path too *)
+      Alcotest.(check (option string)) "torn with cr" (Some "torn") (next ());
+      Alcotest.(check (option string)) "eof" None (next ()))
+
 let suite =
   [
     Alcotest.test_case "JSON parser" `Quick test_json_parse;
@@ -360,4 +417,8 @@ let suite =
       test_accept_fault_is_contained;
     Alcotest.test_case "unix socket + opts.rewrite" `Quick
       test_unix_socket_and_rewrite_opt;
+    Alcotest.test_case "lineio torn line at EOF" `Quick
+      test_lineio_torn_line_at_eof;
+    Alcotest.test_case "lineio 8 MiB line cap" `Quick test_lineio_line_cap;
+    Alcotest.test_case "lineio CRLF tolerance" `Quick test_lineio_crlf;
   ]
