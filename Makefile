@@ -1,0 +1,26 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench smoke gate baseline clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full bench run (ASTRW_SCALE=10 for the paper-scale numbers).
+bench:
+	dune exec bench/main.exe
+
+# The CI gate: smoke-scale bench diffed against bench/baseline.json.
+smoke gate:
+	scripts/bench_gate.sh
+
+# Regenerate the perf baseline intentionally (then commit it).
+baseline:
+	scripts/bench_gate.sh --update
+
+clean:
+	dune clean

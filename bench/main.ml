@@ -25,6 +25,28 @@ let smoke =
   | Some ("" | "0") | None -> false
   | Some _ -> true
 
+(* --gate FILE: after the run, diff this run's workload timings against a
+   committed baseline and exit non-zero on regression (the CI perf gate).
+   --write-baseline FILE: record the current run as the new baseline. *)
+let gate_path, baseline_out =
+  let gate = ref None and out = ref None in
+  let rec parse = function
+    | "--gate" :: p :: rest ->
+        gate := Some p;
+        parse rest
+    | "--write-baseline" :: p :: rest ->
+        out := Some p;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf
+          "unknown argument %s (expected --gate FILE / --write-baseline FILE)\n"
+          a;
+        exit 2
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!gate, !out)
+
 let build cat sql = Qgm.Builder.build cat (Sqlsyn.Parser.parse_query sql)
 
 type prepared = {
@@ -197,9 +219,12 @@ let () =
         (Mvstore.Session.exec_sql sn
            (Printf.sprintf "CREATE SUMMARY TABLE %s AS %s" name sql)))
     Workload.Decision_support.summary_tables;
-  Printf.printf "%-24s %10s %10s %10s %9s  %s\n" "query" "base(ms)" "plan(ms)"
-    "exec(ms)" "speedup" "routed via";
-  let tot_base = ref 0. and tot_plan = ref 0. and tot_exec = ref 0. in
+  Printf.printf "%-24s %10s %10s %10s %10s %9s  %s\n" "query" "base(ms)"
+    "base-row" "plan(ms)" "exec(ms)" "speedup" "routed via";
+  let tot_base = ref 0.
+  and tot_base_row = ref 0.
+  and tot_plan = ref 0.
+  and tot_exec = ref 0. in
   let ws_db = Mvstore.Session.db sn in
   let ws_cat = Engine.Db.catalog ws_db in
   let ws_store = Mvstore.Session.store sn in
@@ -208,6 +233,12 @@ let () =
     (fun (q : Workload.Decision_support.query) ->
       let g = build ws_cat q.dq_sql in
       let t_base = time_ms (fun () -> Engine.Exec.run ws_db g) in
+      (* the same base plan under the row interpreter: what the vectorized
+         executor buys on queries the rewriter does not touch *)
+      let t_base_row =
+        Engine.Exec.with_engine Engine.Exec.Row (fun () ->
+            time_ms (fun () -> Engine.Exec.run ws_db g))
+      in
       (* planning and execution measured separately: plan_ms is the live
          (warm-cache) routing cost, exec_ms the rewritten plan alone *)
       let plan () =
@@ -228,6 +259,7 @@ let () =
         | [] -> "(base tables)"
       in
       tot_base := !tot_base +. t_base;
+      tot_base_row := !tot_base_row +. t_base_row;
       tot_plan := !tot_plan +. t_plan;
       tot_exec := !tot_exec +. t_exec;
       workload_rows :=
@@ -237,20 +269,96 @@ let () =
               [
                 ("query", Json.Str q.dq_name);
                 ("base_ms", Json.Num t_base);
+                ("base_row_ms", Json.Num t_base_row);
                 ("plan_ms", Json.Num t_plan);
                 ("exec_ms", Json.Num t_exec);
                 ("rewritten_ms", Json.Num (t_plan +. t_exec));
                 ("routed_via", Json.Str routed);
               ];
           ];
-      Printf.printf "%-24s %10.1f %10.3f %10.1f %8.1fx  %s\n" q.dq_name t_base
-        t_plan t_exec
+      Printf.printf "%-24s %10.1f %10.1f %10.3f %10.1f %8.1fx  %s\n" q.dq_name
+        t_base t_base_row t_plan t_exec
         (t_base /. (t_plan +. t_exec))
         routed)
     Workload.Decision_support.queries;
-  Printf.printf "%-24s %10.1f %10.3f %10.1f %8.1fx\n" "TOTAL" !tot_base
-    !tot_plan !tot_exec
+  Printf.printf "%-24s %10.1f %10.1f %10.3f %10.1f %8.1fx\n" "TOTAL" !tot_base
+    !tot_base_row !tot_plan !tot_exec
     (!tot_base /. (!tot_plan +. !tot_exec));
+  print_newline ();
+
+  (* ---------------- PERF10: vectorized vs row interpreter ------------ *)
+  (* The executor claim: batch-at-a-time execution over typed columns
+     beats the row-at-a-time interpreter on the base-table runs that
+     dominate end-to-end time. Bag equality across the two engines is
+     checked at every scale; the 10x floor is asserted only at bench
+     scale (ASTRW_SCALE >= 10), where batches are large enough to
+     amortize the columnar decode. *)
+  Printf.printf "=== PERF10: vectorized executor vs row interpreter ===\n";
+  let vec_cases =
+    let fig2 =
+      List.find
+        (fun p -> p.p_case.Workload.Paper_queries.name = "fig2_q1")
+        prepared
+    in
+    let di =
+      List.find
+        (fun (q : Workload.Decision_support.query) ->
+          q.dq_name = "discount_impact")
+        Workload.Decision_support.queries
+    in
+    [
+      ("fig2_q1", fig2.p_db, fig2.p_query);
+      ("discount_impact", ws_db, build ws_cat di.dq_sql);
+    ]
+  in
+  Printf.printf "%-20s %12s %10s %9s %8s\n" "query" "vector(ms)" "row(ms)"
+    "speedup" "correct";
+  let floor_asserted = scale >= 10 in
+  let vec_rows =
+    List.map
+      (fun (name, db, g) ->
+        let under e = Engine.Exec.with_engine e (fun () -> Engine.Exec.run db g) in
+        let correct =
+          R.bag_equal_approx (under Engine.Exec.Vector) (under Engine.Exec.Row)
+        in
+        if not correct then incr fails;
+        let t_vec =
+          Engine.Exec.with_engine Engine.Exec.Vector (fun () ->
+              time_ms (fun () -> Engine.Exec.run db g))
+        in
+        let t_row =
+          Engine.Exec.with_engine Engine.Exec.Row (fun () ->
+              time_ms (fun () -> Engine.Exec.run db g))
+        in
+        let speedup = t_row /. t_vec in
+        if floor_asserted && speedup < 10. then begin
+          Printf.printf "PERF10 FAILURE: %s speedup %.1fx below the 10x floor\n"
+            name speedup;
+          incr fails
+        end;
+        Printf.printf "%-20s %12.2f %10.2f %8.1fx %8s\n" name t_vec t_row
+          speedup
+          (if correct then "yes" else "NO");
+        Json.Obj
+          [
+            ("query", Json.Str name);
+            ("vector_ms", Json.Num t_vec);
+            ("row_ms", Json.Num t_row);
+            ("speedup", Json.Num speedup);
+            ("correct", Json.Bool correct);
+          ])
+      vec_cases
+  in
+  let vectorized_obj =
+    Json.Obj
+      [
+        ( "default_engine",
+          Json.Str (Engine.Exec.engine_to_string Engine.Exec.default_engine) );
+        ("floor", Json.Num 10.);
+        ("floor_asserted", Json.Bool floor_asserted);
+        ("rows", Json.List vec_rows);
+      ]
+  in
   print_newline ();
 
   (* ---------------- ablations (DESIGN.md section 5) ------------------ *)
@@ -942,10 +1050,12 @@ let () =
            Json.Obj
              [
                ("base_ms", Json.Num !tot_base);
+               ("base_row_ms", Json.Num !tot_base_row);
                ("plan_ms", Json.Num !tot_plan);
                ("exec_ms", Json.Num !tot_exec);
                ("rewritten_ms", Json.Num (!tot_plan +. !tot_exec));
              ] );
+         ("vectorized", vectorized_obj);
          ("planning", !planning_obj);
          ("governed_planning", !governed_obj);
          ("validated_planning", !validated_obj);
@@ -959,6 +1069,81 @@ let () =
   let metrics_path = "BENCH_metrics.json" in
   Obs.Metrics.dump metrics_path;
   Printf.printf "wrote %s\n\n%!" metrics_path;
+
+  (* ---------------- perf-regression gate ----------------------------- *)
+  (* bench/baseline.json records per-query workload timings at smoke
+     scale; --gate compares this run against it and fails on a >30%
+     exec_ms regression (plus 0.5 ms absolute slack, so sub-millisecond
+     rows don't gate on scheduler noise). *)
+  (match baseline_out with
+  | Some path ->
+      Json.to_file path
+        (Json.Obj
+           [ ("scale", Json.Int scale); ("workload", Json.List !workload_rows) ]);
+      Printf.printf "wrote baseline %s\n%!" path
+  | None -> ());
+  (match gate_path with
+  | None -> ()
+  | Some path ->
+      let base =
+        let text = In_channel.with_open_text path In_channel.input_all in
+        match Json.of_string text with
+        | Ok j -> j
+        | Error e ->
+            Printf.printf "GATE ERROR: cannot parse %s: %s\n%!" path e;
+            exit 2
+      in
+      let num = function
+        | Some (Json.Num x) | Some (Json.Float x) -> x
+        | Some (Json.Int n) -> float_of_int n
+        | _ -> nan
+      in
+      (match Json.member "scale" base with
+      | Some (Json.Int s) when s <> scale ->
+          Printf.printf
+            "GATE WARNING: baseline was recorded at scale %d, this run is \
+             scale %d\n"
+            s scale
+      | _ -> ());
+      let rows =
+        match Json.member "workload" base with
+        | Some (Json.List l) -> l
+        | _ -> []
+      in
+      Printf.printf "=== bench gate: %s (>30%% exec regression + 0.5 ms) ===\n"
+        path;
+      Printf.printf "%-24s %13s %13s %10s\n" "query" "baseline(ms)" "now(ms)"
+        "verdict";
+      let gate_fails = ref 0 in
+      List.iter
+        (fun brow ->
+          let name =
+            match Json.member "query" brow with
+            | Some (Json.Str s) -> s
+            | _ -> "?"
+          in
+          let b_exec = num (Json.member "exec_ms" brow) in
+          match
+            List.find_opt
+              (fun r -> Json.member "query" r = Some (Json.Str name))
+              !workload_rows
+          with
+          | None ->
+              incr gate_fails;
+              Printf.printf "%-24s %13.2f %13s %10s\n" name b_exec "-" "MISSING"
+          | Some r ->
+              let c_exec = num (Json.member "exec_ms" r) in
+              let limit = (b_exec *. 1.30) +. 0.5 in
+              let ok = (not (Float.is_nan c_exec)) && c_exec <= limit in
+              if not ok then incr gate_fails;
+              Printf.printf "%-24s %13.2f %13.2f %10s\n" name b_exec c_exec
+                (if ok then "ok" else "REGRESSED"))
+        rows;
+      if !gate_fails > 0 then begin
+        Printf.printf "BENCH GATE FAILURE: %d row(s) regressed\n%!" !gate_fails;
+        exit 1
+      end;
+      Printf.printf "bench gate OK\n\n%!");
 
   if smoke then begin
     Printf.printf "smoke mode: skipping bechamel timings\n";

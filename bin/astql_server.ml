@@ -78,11 +78,14 @@ let state_empty shared =
   Catalog.tables (Engine.Db.catalog snap.Mvstore.Shared.sn_db) = []
 
 let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
-    match_budget validate fault crash metrics_out demo scale durability fsync
-    checkpoint_every drain_ms files =
+    match_budget validate exec_engine fault crash metrics_out demo scale
+    durability fsync checkpoint_every drain_ms files =
   arm_faults fault;
   arm_crashes crash;
   set_validate validate;
+  (match exec_engine with
+  | None -> ()
+  | Some e -> Engine.Exec.set_engine e);
   let rewrite = not no_rewrite in
   let budget = limits_of ~deadline_ms ~match_budget in
   let cf_addr =
@@ -265,6 +268,24 @@ let validate_arg =
     & opt (some validate_conv) None
     & info [ "validate" ] ~docv:"LEVEL" ~doc)
 
+let engine_conv =
+  let parse s =
+    match Engine.Exec.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected vector, row, or reference")
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Engine.Exec.engine_to_string e)
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  let doc =
+    "Executor engine: $(b,vector), $(b,row), or $(b,reference) (see astql \
+     --help). Defaults to $(b,ASTQL_EXEC) from the environment."
+  in
+  Arg.(value & opt (some engine_conv) None & info [ "exec" ] ~docv:"ENGINE" ~doc)
+
 let fault_arg =
   let doc =
     "Arm deterministic fault-injection points (testing): comma-separated \
@@ -362,6 +383,7 @@ let () =
           Term.(
             const serve $ addr_arg $ domains_arg $ queue_depth_arg
             $ backlog_arg $ no_rewrite_flag $ auto_maint_flag $ deadline_arg
-            $ match_budget_arg $ validate_arg $ fault_arg $ crash_arg
-            $ metrics_out_arg $ demo_flag $ scale_arg $ durability_arg
-            $ fsync_arg $ checkpoint_every_arg $ drain_ms_arg $ files_arg)))
+            $ match_budget_arg $ validate_arg $ engine_arg $ fault_arg
+            $ crash_arg $ metrics_out_arg $ demo_flag $ scale_arg
+            $ durability_arg $ fsync_arg $ checkpoint_every_arg $ drain_ms_arg
+            $ files_arg)))

@@ -1,6 +1,14 @@
 type row = Value.t array
 
-type t = { cols : string array; data : row array }
+(* [rid] is a process-unique stamp used as a cache key by the columnar
+   decoder (Engine.Column): relations are immutable, so a stamp identifies
+   the payload for the relation's whole lifetime. Every construction —
+   including derived relations that share [cols] — gets a fresh stamp. *)
+type t = { cols : string array; data : row array; rid : int }
+
+let next_rid = Atomic.make 1
+let make cols data = { cols; data; rid = Atomic.fetch_and_add next_rid 1 }
+let id r = r.rid
 
 let check_width cols rows =
   let n = Array.length cols in
@@ -15,9 +23,9 @@ let check_width cols rows =
 let create cols rows =
   let cols = Array.of_list cols in
   check_width cols rows;
-  { cols; data = Array.of_list rows }
+  make cols (Array.of_list rows)
 
-let empty cols = { cols = Array.of_list cols; data = [||] }
+let empty cols = make (Array.of_list cols) [||]
 let columns r = Array.copy r.cols
 let arity r = Array.length r.cols
 let cardinality r = Array.length r.data
@@ -40,19 +48,19 @@ let mem_column r name =
 let project r names =
   let idx = List.map (column_index r) names in
   let pick row = Array.of_list (List.map (fun i -> row.(i)) idx) in
-  { cols = Array.of_list names; data = Array.map pick r.data }
+  make (Array.of_list names) (Array.map pick r.data)
 
 let append r extra =
   check_width r.cols extra;
-  { r with data = Array.append r.data (Array.of_list extra) }
+  make r.cols (Array.append r.data (Array.of_list extra))
 
-let filter p r = { r with data = Array.of_seq (Seq.filter p (Array.to_seq r.data)) }
-let map_rows f r = { r with data = Array.map f r.data }
+let filter p r = make r.cols (Array.of_seq (Seq.filter p (Array.to_seq r.data)))
+let map_rows f r = make r.cols (Array.map f r.data)
 
 let sort cmp r =
   let data = Array.copy r.data in
   Array.stable_sort cmp data;
-  { r with data }
+  make r.cols data
 
 let row_compare a b =
   let n = min (Array.length a) (Array.length b) in
@@ -99,7 +107,7 @@ let bag_diff a b =
         false
     | _ -> true
   in
-  { a with data = Array.of_seq (Seq.filter keep (Array.to_seq a.data)) }
+  make a.cols (Array.of_seq (Seq.filter keep (Array.to_seq a.data)))
 
 let bag_equal a b =
   Array.length a.cols = Array.length b.cols

@@ -12,6 +12,13 @@ type t
 val create : string list -> row list -> t
 
 val empty : string list -> t
+
+(** Process-unique stamp of this relation's payload. Relations are
+    immutable, so the stamp is a sound cache key (the columnar decoder in
+    [Engine.Column] keys its decode cache on it); any derived relation —
+    filter, sort, append, DML result — carries a fresh stamp. *)
+val id : t -> int
+
 val columns : t -> string array
 val arity : t -> int
 val cardinality : t -> int

@@ -77,7 +77,11 @@ let hash = function
   | Bool b -> Hashtbl.hash b
   | Date d -> Hashtbl.hash (`Date d)
 
-let is_null v = v = Null
+(* Constructor match, NOT polymorphic [v = Null]: structural equality
+   descends into boxed floats, where a NaN payload makes (=) lie
+   (nan = nan is false), and costs a generic compare per call on the
+   aggregation hot path. *)
+let is_null = function Null -> true | _ -> false
 
 let cmp3 op a b =
   match (a, b) with

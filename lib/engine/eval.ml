@@ -26,7 +26,7 @@ let apply_fn name args =
   | "lower", [ V.Str s ] -> V.Str (String.lowercase_ascii s)
   | "lower", [ V.Null ] -> V.Null
   | "coalesce", args -> (
-      match List.find_opt (fun v -> v <> V.Null) args with
+      match List.find_opt (fun v -> not (V.is_null v)) args with
       | Some v -> v
       | None -> V.Null)
   | name, args -> err "unknown function %s/%d" name (List.length args)
@@ -71,7 +71,7 @@ let rec eval lookup e =
   | E.Agg _ -> invalid_arg "Eval.eval: aggregate outside a GROUP BY box"
   | E.Is_null (e, positive) ->
       let v = eval lookup e in
-      V.Bool (if positive then v = V.Null else v <> V.Null)
+      V.Bool (if positive then V.is_null v else not (V.is_null v))
   | E.Case (arms, els) -> (
       let rec try_arms = function
         | [] -> ( match els with Some e -> eval lookup e | None -> V.Null)

@@ -15,6 +15,13 @@ exception Eval_error of string
     error with statement context rather than letting it crash the caller. *)
 val eval : ('c -> Data.Value.t) -> 'c Qgm.Expr.t -> Data.Value.t
 
+(** The scalar kernels behind {!eval}, exposed for the vectorized
+    executor's boxed fallback paths so both engines share one semantics
+    (same results, same error messages) for operators and functions. *)
+val apply_binop : string -> Data.Value.t -> Data.Value.t -> Data.Value.t
+
+val apply_fn : string -> Data.Value.t list -> Data.Value.t
+
 (** [is_satisfied lookup p] — SQL predicate test: true only when [p]
     evaluates to a definite TRUE. *)
 val is_satisfied : ('c -> Data.Value.t) -> 'c Qgm.Expr.t -> bool

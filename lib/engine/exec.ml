@@ -1,3 +1,20 @@
+(* Engine dispatcher.
+
+   Three engines implement the QGM operators:
+   - [Vector] (default): batch-at-a-time over typed columns ({!Vexec}),
+     falling back per box to the row interpreter for anything outside the
+     vectorized subset;
+   - [Row]: the original tuple-at-a-time interpreter, kept in this file;
+   - [Reference]: the naive oracle's operators ({!Reference}), runnable
+     under the same memoized recursion so the full test suite can exercise
+     it via [ASTQL_EXEC=reference].
+
+   The recursion skeleton ([run_box_memo]) is engine-agnostic: one memo
+   slot per box (holding the result as a relation, a column batch, or
+   lazily both), deadline checks and row metering at operator boundaries,
+   per-operator metrics. Engines interoperate within a plan because slots
+   convert between representations on demand. *)
+
 exception Exec_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
@@ -7,6 +24,41 @@ module R = Data.Relation
 module E = Qgm.Expr
 module B = Qgm.Box
 module G = Qgm.Graph
+module C = Column
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type engine = Vector | Row | Reference
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "vector" | "vectorized" -> Some Vector
+  | "row" -> Some Row
+  | "reference" | "ref" -> Some Reference
+  | _ -> None
+
+let engine_to_string = function
+  | Vector -> "vector"
+  | Row -> "row"
+  | Reference -> "reference"
+
+let default_engine =
+  (* unknown values fall back to the default rather than failing startup:
+     the knob is a perf switch, not a correctness switch *)
+  match Option.bind (Sys.getenv_opt "ASTQL_EXEC") engine_of_string with
+  | Some e -> e
+  | None -> Vector
+
+let current_engine = Atomic.make default_engine
+let engine () = Atomic.get current_engine
+let set_engine e = Atomic.set current_engine e
+
+let with_engine e f =
+  let saved = Atomic.get current_engine in
+  Atomic.set current_engine e;
+  Fun.protect ~finally:(fun () -> Atomic.set current_engine saved) f
 
 (* Hash table keyed by value lists, honoring SQL grouping equality
    (NULL groups with NULL; Int and Float compare numerically). *)
@@ -20,7 +72,7 @@ end
 module VH = Hashtbl.Make (Vkey)
 
 (* ------------------------------------------------------------------ *)
-(* Aggregate accumulators                                              *)
+(* Aggregate accumulators (row engine)                                 *)
 (* ------------------------------------------------------------------ *)
 
 type acc = {
@@ -44,7 +96,10 @@ let new_acc (agg : E.agg) =
 
 let acc_add acc v =
   acc.cnt <- acc.cnt + 1;
-  if v <> V.Null then begin
+  (* constructor test, not polymorphic compare: a NaN inside [Float] makes
+     [v <> V.Null] unreliable (structural (=) on nan is false for equal
+     boxes), which silently corrupted NaN-carrying aggregates *)
+  if not (V.is_null v) then begin
     let fresh =
       match acc.seen with
       | None -> true
@@ -57,9 +112,9 @@ let acc_add acc v =
     in
     if fresh then begin
       acc.nonnull <- acc.nonnull + 1;
-      acc.sum <- (if acc.sum = V.Null then v else V.add acc.sum v);
-      acc.mn <- (if acc.mn = V.Null || V.compare v acc.mn < 0 then v else acc.mn);
-      acc.mx <- (if acc.mx = V.Null || V.compare v acc.mx > 0 then v else acc.mx)
+      acc.sum <- (if V.is_null acc.sum then v else V.add acc.sum v);
+      acc.mn <- (if V.is_null acc.mn || V.compare v acc.mn < 0 then v else acc.mn);
+      acc.mx <- (if V.is_null acc.mx || V.compare v acc.mx > 0 then v else acc.mx)
     end
   end
 
@@ -75,7 +130,7 @@ let acc_result (agg : E.agg) acc =
       else V.Float (V.to_float acc.sum /. float_of_int acc.nonnull)
 
 (* ------------------------------------------------------------------ *)
-(* Select box: incremental hash join                                   *)
+(* Row-engine select box: incremental hash join                        *)
 (* ------------------------------------------------------------------ *)
 
 type layout = (int * string) array  (* (quant_id, lowercased column) *)
@@ -98,68 +153,16 @@ let lookup_in layout tuple { B.quant; col } =
 
 let pred_quant_set p = List.sort_uniq compare (List.map (fun r -> r.B.quant) (E.cols p))
 
-(* Operator-level metrics, ticked only on the compute path (memo hits are
-   free and counted separately). Timings are wall-clock and include the
-   recursive children, so the per-operator histograms report inclusive
-   operator latency. *)
-let x_boxes = Obs.Metrics.counter "exec.boxes"
-let x_memo_hits = Obs.Metrics.counter "exec.memo_hits"
-let x_rows = Obs.Metrics.counter "exec.rows"
-let x_base_ms = Obs.Metrics.histogram "exec.base_ms"
-let x_select_ms = Obs.Metrics.histogram "exec.select_ms"
-let x_group_ms = Obs.Metrics.histogram "exec.group_ms"
-let x_union_ms = Obs.Metrics.histogram "exec.union_ms"
-let x_runs = Obs.Metrics.counter "exec.runs"
-let x_run_ms = Obs.Metrics.histogram "exec.run_ms"
-
-let rec run_box_memo ?budget db g memo id =
-  match Hashtbl.find_opt memo id with
-  | Some r ->
-      Obs.Metrics.incr x_memo_hits;
-      r
-  | None ->
-      (* operator boundary: the cheapest place to notice a blown deadline
-         before starting (possibly expensive) work on this box *)
-      Govern.Budget.check_deadline budget;
-      Obs.Metrics.incr x_boxes;
-      let r =
-        match (G.box g id).B.body with
-        | B.Base { bt_table; bt_cols } ->
-            Obs.Metrics.time x_base_ms (fun () ->
-                R.project (Db.get_exn db bt_table) bt_cols)
-        | B.Select { sel_quants = quants; sel_preds = preds; sel_outs = outs; sel_distinct = distinct } ->
-            Obs.Metrics.time x_select_ms (fun () ->
-                exec_select ?budget db g memo quants preds outs distinct)
-        | B.Group { grp_quant = quant; grp_grouping = grouping; grp_aggs = aggs } ->
-            Obs.Metrics.time x_group_ms (fun () ->
-                exec_group ?budget db g memo quant grouping aggs)
-        | B.Union { un_quants; un_all; un_cols } ->
-            Obs.Metrics.time x_union_ms (fun () ->
-                let rows =
-                  List.concat_map
-                    (fun q ->
-                      let rel = run_box_memo ?budget db g memo q.B.q_box in
-                      if R.arity rel <> List.length un_cols then
-                        err "UNION branch arity mismatch";
-                      R.rows rel)
-                    un_quants
-                in
-                let rel = R.create un_cols rows in
-                if un_all then rel else R.distinct rel)
-      in
-      Obs.Metrics.add x_rows (R.cardinality r);
-      Govern.Budget.tick_rows budget (R.cardinality r);
-      Hashtbl.add memo id r;
-      r
-
-and exec_select ?budget db g memo quants preds outs distinct =
-  let child_rel q = run_box_memo ?budget db g memo q.B.q_box in
+let row_select ~(child : B.quant -> R.t) (sel : B.select_body) : R.t =
+  let { B.sel_quants = quants; sel_preds = preds; sel_outs = outs; sel_distinct = distinct } =
+    sel
+  in
   (* initial layout: all scalar-subquery columns as constants *)
   let init_layout = ref [] and init_tuple = ref [] in
   List.iter
     (fun q ->
       if q.B.q_kind = B.Scalar then begin
-        let rel = child_rel q in
+        let rel = child q in
         let row =
           match R.cardinality rel with
           | 0 -> Array.make (R.arity rel) V.Null
@@ -203,7 +206,7 @@ and exec_select ?budget db g memo quants preds outs distinct =
   List.iter
     (fun q ->
       if q.B.q_kind = B.Foreach then begin
-        let rel = child_rel q in
+        let rel = child q in
         let rel_cols =
           Array.map String.lowercase_ascii (R.columns rel)
         in
@@ -255,7 +258,7 @@ and exec_select ?budget db g memo quants preds outs distinct =
             Array.iter
               (fun row ->
                 let kv = List.map (fun i -> row.(i)) key_idxs in
-                if not (List.mem V.Null kv) then
+                if not (List.exists V.is_null kv) then
                   VH.add ht kv row)
               (R.rows_array rel);
             List.concat_map
@@ -263,7 +266,7 @@ and exec_select ?budget db g memo quants preds outs distinct =
                 let kv =
                   List.map (fun r -> lookup_in !layout t r) probe_refs
                 in
-                if List.mem V.Null kv then []
+                if List.exists V.is_null kv then []
                 else
                   List.rev_map
                     (fun row -> Array.append t row)
@@ -293,14 +296,14 @@ and exec_select ?budget db g memo quants preds outs distinct =
   if distinct then R.distinct rel else rel
 
 (* ------------------------------------------------------------------ *)
-(* Group box                                                           *)
+(* Row-engine group box                                                *)
 (* ------------------------------------------------------------------ *)
 
-and exec_group ?budget db g memo quant grouping aggs =
-  let child = run_box_memo ?budget db g memo quant.B.q_box in
+let row_group ~(child : B.quant -> R.t) (grp : B.group_body) : R.t =
+  let { B.grp_quant = quant; grp_grouping = grouping; grp_aggs = aggs } = grp in
+  let child = child quant in
   let idx name = R.column_index child name in
   let union_cols = B.grouping_union grouping in
-  let union_idx = List.map idx union_cols in
   let out_names = union_cols @ List.map fst aggs in
   let agg_specs =
     List.map
@@ -342,8 +345,8 @@ and exec_group ?budget db g memo quant grouping aggs =
       (fun key ->
         let accs = VH.find groups key in
         let union_vals =
-          List.map2
-            (fun col _i ->
+          List.map
+            (fun col ->
               match
                 List.find_index
                   (fun c -> c = String.lowercase_ascii col)
@@ -351,7 +354,7 @@ and exec_group ?budget db g memo quant grouping aggs =
               with
               | Some j -> List.nth key j
               | None -> V.Null)
-            union_cols union_idx
+            union_cols
         in
         let agg_vals =
           List.map2 (fun acc (agg, _) -> acc_result agg acc) accs agg_specs
@@ -362,9 +365,140 @@ and exec_group ?budget db g memo quant grouping aggs =
   let rows = List.concat_map cuboid (B.grouping_sets grouping) in
   R.create out_names rows
 
+let row_union ~(child : B.quant -> R.t) (u : B.union_body) : R.t =
+  let rows =
+    List.concat_map
+      (fun q ->
+        let rel = child q in
+        if R.arity rel <> List.length u.B.un_cols then
+          err "UNION branch arity mismatch";
+        R.rows rel)
+      u.B.un_quants
+  in
+  let rel = R.create u.B.un_cols rows in
+  if u.B.un_all then rel else R.distinct rel
+
+(* ------------------------------------------------------------------ *)
+(* Memoized recursion over boxes                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_box ?budget db g id = run_box_memo ?budget db g (Hashtbl.create 16) id
+(* A memo slot holds a box's result in whichever representation the engine
+   produced, converting (and caching the conversion) on demand — so a
+   vectorized parent can consume a row-engine fallback child and vice
+   versa. *)
+type slot = { mutable srel : R.t option; mutable sbat : C.batch option }
+
+let slot_of_rel r = { srel = Some r; sbat = None }
+let slot_of_batch b = { srel = None; sbat = Some b }
+
+let slot_rel s =
+  match s.srel with
+  | Some r -> r
+  | None ->
+      let r = C.to_relation (Option.get s.sbat) in
+      s.srel <- Some r;
+      r
+
+let slot_batch s =
+  match s.sbat with
+  | Some b -> b
+  | None ->
+      let b = C.of_relation (Option.get s.srel) in
+      s.sbat <- Some b;
+      b
+
+let slot_cardinality s =
+  match s.sbat with
+  | Some b -> b.C.nrows
+  | None -> R.cardinality (Option.get s.srel)
+
+(* Operator-level metrics, ticked only on the compute path (memo hits are
+   free and counted separately). Timings are wall-clock and include the
+   recursive children, so the per-operator histograms report inclusive
+   operator latency. *)
+let x_boxes = Obs.Metrics.counter "exec.boxes"
+let x_vec_boxes = Obs.Metrics.counter "exec.vec_boxes"
+let x_fallback_boxes = Obs.Metrics.counter "exec.fallback_boxes"
+let x_memo_hits = Obs.Metrics.counter "exec.memo_hits"
+let x_rows = Obs.Metrics.counter "exec.rows"
+let x_base_ms = Obs.Metrics.histogram "exec.base_ms"
+let x_select_ms = Obs.Metrics.histogram "exec.select_ms"
+let x_group_ms = Obs.Metrics.histogram "exec.group_ms"
+let x_union_ms = Obs.Metrics.histogram "exec.union_ms"
+let x_runs = Obs.Metrics.counter "exec.runs"
+let x_run_ms = Obs.Metrics.histogram "exec.run_ms"
+
+(* Vectorized operators report internal invariant violations through their
+   own exception; surface them as executor errors. Reference operators
+   likewise, so [ASTQL_EXEC=reference] behaves as a drop-in engine. *)
+let vex f = try f () with Vexec.Error m -> raise (Exec_error m)
+let refx f = try f () with Reference.Reference_error m -> raise (Exec_error m)
+
+let rec run_box_memo ?budget db g memo id : slot =
+  match Hashtbl.find_opt memo id with
+  | Some s ->
+      Obs.Metrics.incr x_memo_hits;
+      s
+  | None ->
+      (* operator boundary: the cheapest place to notice a blown deadline
+         before starting (possibly expensive) work on this box *)
+      Govern.Budget.check_deadline budget;
+      Obs.Metrics.incr x_boxes;
+      let child_rel q = slot_rel (run_box_memo ?budget db g memo q.B.q_box) in
+      let child_batch q = slot_batch (run_box_memo ?budget db g memo q.B.q_box) in
+      let eng = engine () in
+      let body = (G.box g id).B.body in
+      (* a box runs vectorized iff the engine is [Vector] and the body is
+         inside the vectorized subset; otherwise it degrades to the row
+         operator (counted), keeping the rest of the plan vectorized *)
+      let vectorized = eng = Vector && Vexec.box_supported body in
+      if vectorized then Obs.Metrics.incr x_vec_boxes
+      else if eng = Vector then Obs.Metrics.incr x_fallback_boxes;
+      let s =
+        match body with
+        | B.Base ({ bt_table; bt_cols } as bt) ->
+            Obs.Metrics.time x_base_ms (fun () ->
+                if vectorized then slot_of_batch (vex (fun () -> Vexec.exec_base db bt))
+                else slot_of_rel (R.project (Db.get_exn db bt_table) bt_cols))
+        | B.Select sel ->
+            Obs.Metrics.time x_select_ms (fun () ->
+                if vectorized then
+                  slot_of_batch
+                    (vex (fun () -> Vexec.exec_select ~child:child_batch sel))
+                else if eng = Reference then
+                  slot_of_rel
+                    (refx (fun () -> Reference.eval_select ~child:child_rel sel))
+                else slot_of_rel (row_select ~child:child_rel sel))
+        | B.Group grp ->
+            Obs.Metrics.time x_group_ms (fun () ->
+                if vectorized then
+                  slot_of_batch
+                    (vex (fun () -> Vexec.exec_group ~child:child_batch grp))
+                else if eng = Reference then
+                  slot_of_rel
+                    (refx (fun () -> Reference.eval_group ~child:child_rel grp))
+                else slot_of_rel (row_group ~child:child_rel grp))
+        | B.Union u ->
+            Obs.Metrics.time x_union_ms (fun () ->
+                if eng = Reference then
+                  slot_of_rel
+                    (refx (fun () -> Reference.eval_union ~child:child_rel u))
+                else slot_of_rel (row_union ~child:child_rel u))
+      in
+      Obs.Metrics.add x_rows (slot_cardinality s);
+      Govern.Budget.tick_rows budget (slot_cardinality s);
+      Hashtbl.add memo id s;
+      s
+
+(* ------------------------------------------------------------------ *)
+
+let run_box ?budget db g id =
+  (* arm the scratch arena for this run: every kernel buffer allocated
+     below dies when the memo does, so the outermost bracket recycles the
+     chunks wholesale (results are boxed relations by then) *)
+  C.scratch_begin ();
+  Fun.protect ~finally:C.scratch_end @@ fun () ->
+  slot_rel (run_box_memo ?budget db g (Hashtbl.create 16) id)
 
 let run ?budget db g =
   Obs.Metrics.incr x_runs;

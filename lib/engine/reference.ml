@@ -25,24 +25,22 @@ let lookup (env : env) { B.quant; col } =
       in
       go 0)
 
-let rec eval_box db g id : R.t =
-  match (G.box g id).B.body with
-  | B.Base { bt_table; bt_cols } -> R.project (Db.get_exn db bt_table) bt_cols
-  | B.Select sel -> eval_select db g sel
-  | B.Group grp -> eval_group db g grp
-  | B.Union u ->
-      let rows =
-        List.concat_map (fun q -> R.rows (eval_box db g q.B.q_box)) u.B.un_quants
-      in
-      let rel = R.create u.B.un_cols rows in
-      if u.B.un_all then rel else R.distinct rel
+(* The operators take their inputs through a [child] callback (quantifier ->
+   relation) rather than recursing themselves, so {!Exec}'s dispatcher can
+   reuse them per box with memoized children. [run] below wires them into
+   the naive whole-plan recursion. *)
+
+let eval_union ~(child : B.quant -> R.t) (u : B.union_body) : R.t =
+  let rows = List.concat_map (fun q -> R.rows (child q)) u.B.un_quants in
+  let rel = R.create u.B.un_cols rows in
+  if u.B.un_all then rel else R.distinct rel
 
 (* Cross product of all foreach children, then filter with the full
    conjunction, then project. Scalar children contribute one (possibly
    NULL-padded) row. *)
-and eval_select db g (sel : B.select_body) : R.t =
-  let child q =
-    let rel = eval_box db g q.B.q_box in
+let eval_select ~(child : B.quant -> R.t) (sel : B.select_body) : R.t =
+  let bind q =
+    let rel = child q in
     let cols = R.columns rel in
     match q.B.q_kind with
     | B.Foreach -> (q.B.q_id, cols, R.rows rel)
@@ -57,7 +55,7 @@ and eval_select db g (sel : B.select_body) : R.t =
         in
         (q.B.q_id, cols, [ row ])
   in
-  let children = List.map child sel.B.sel_quants in
+  let children = List.map bind sel.B.sel_quants in
   let rec cross acc = function
     | [] -> [ List.rev acc ]
     | (qid, cols, rows) :: rest ->
@@ -84,10 +82,8 @@ and eval_select db g (sel : B.select_body) : R.t =
 
 (* Grouping by rescanning: distinct keys first, then one pass per group per
    aggregate. *)
-and eval_group db g (grp : B.group_body) : R.t =
-  let child = eval_box db g grp.B.grp_quant.B.q_box in
-  let col i name = (R.column_index child name, i) in
-  ignore col;
+let eval_group ~(child : B.quant -> R.t) (grp : B.group_body) : R.t =
+  let child = child grp.B.grp_quant in
   let idx name = R.column_index child name in
   let union = B.grouping_union grp.B.grp_grouping in
   let out_names = union @ List.map fst grp.B.grp_aggs in
@@ -119,7 +115,7 @@ and eval_group db g (grp : B.group_body) : R.t =
             | None -> List.map (fun _ -> V.Int 1) members
             | Some a -> List.map (fun row -> row.(idx a)) members
           in
-          let non_null = List.filter (fun v -> v <> V.Null) values in
+          let non_null = List.filter (fun v -> not (V.is_null v)) values in
           let non_null =
             if agg.E.distinct then
               let rec dedup seen = function
@@ -175,6 +171,14 @@ and eval_group db g (grp : B.group_body) : R.t =
   in
   R.create out_names
     (List.concat_map cuboid (B.grouping_sets grp.B.grp_grouping))
+
+let rec eval_box db g id : R.t =
+  let child q = eval_box db g q.B.q_box in
+  match (G.box g id).B.body with
+  | B.Base { bt_table; bt_cols } -> R.project (Db.get_exn db bt_table) bt_cols
+  | B.Select sel -> eval_select ~child sel
+  | B.Group grp -> eval_group ~child grp
+  | B.Union u -> eval_union ~child u
 
 let run db g =
   let rel = eval_box db g (G.root g) in

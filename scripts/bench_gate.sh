@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: runs the bench in smoke mode and diffs the fresh
+# BENCH_results.json workload timings against the committed baseline
+# (bench/baseline.json). Any query whose exec_ms regresses by more than 30%
+# (plus 0.5 ms absolute slack) fails the gate. A perf gate on shared CI
+# runners is inherently noisy, so one failing run is retried once before the
+# verdict sticks.
+#
+#   scripts/bench_gate.sh             gate against bench/baseline.json
+#   scripts/bench_gate.sh --update    regenerate the baseline intentionally
+#                                     (commit the result)
+#
+# Run from anywhere; it cd's to the repo root. CI runs this in the
+# bench-smoke job and uploads BENCH_results.json / BENCH_metrics.json as
+# artifacts either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=bench/baseline.json
+
+dune build bench/main.exe
+
+if [[ "${1:-}" == "--update" ]]; then
+  ASTRW_SMOKE=1 dune exec --no-build bench/main.exe -- \
+    --write-baseline "$BASELINE"
+  echo "baseline updated: $BASELINE (commit it)"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no $BASELINE — run scripts/bench_gate.sh --update and commit it" >&2
+  exit 2
+fi
+
+if ASTRW_SMOKE=1 dune exec --no-build bench/main.exe -- --gate "$BASELINE"; then
+  exit 0
+fi
+echo "bench gate failed once; retrying to rule out runner noise..." >&2
+ASTRW_SMOKE=1 dune exec --no-build bench/main.exe -- --gate "$BASELINE"

@@ -1,7 +1,9 @@
-(* Differential testing: the optimized executor (hash joins, incremental
-   predicate application, single-pass aggregation) against the naive
-   reference evaluator, over a grammar of random queries on tiny data.
-   Any divergence is an engine bug. *)
+(* Differential testing: all three executors — the vectorized columnar
+   engine, the row-at-a-time interpreter (also its per-box fallback), and
+   the naive reference evaluator — over a grammar of random queries on
+   tiny data. Any pairwise divergence is an engine bug. The generator is
+   QCheck-driven (set QCHECK_SEED to reproduce a failure); the count is
+   bounded so tier-1 stays fast. *)
 
 module R = Data.Relation
 open Helpers
@@ -82,11 +84,17 @@ let agree spec =
   let db = Lazy.force db in
   let sql = sql_of spec in
   let g = build (Engine.Db.catalog db) sql in
-  let fast = Engine.Exec.run db g in
+  let fast = Engine.Exec.with_engine Engine.Exec.Vector (fun () -> Engine.Exec.run db g) in
+  let rowed = Engine.Exec.with_engine Engine.Exec.Row (fun () -> Engine.Exec.run db g) in
   let slow = Engine.Reference.run db g in
   if not (R.bag_equal_approx fast slow) then
-    QCheck.Test.fail_reportf "engines disagree on %s\nfast:\n%s\nslow:\n%s" sql
+    QCheck.Test.fail_reportf
+      "vector and reference disagree on %s\nvector:\n%s\nreference:\n%s" sql
       (R.to_string fast) (R.to_string slow)
+  else if not (R.bag_equal_approx rowed slow) then
+    QCheck.Test.fail_reportf
+      "row and reference disagree on %s\nrow:\n%s\nreference:\n%s" sql
+      (R.to_string rowed) (R.to_string slow)
   else begin
     (* and the unparser must round-trip the graph *)
     let printed = Qgm.Unparse.to_sql g in
@@ -103,7 +111,7 @@ let agree spec =
   end
 
 let prop_engines_agree =
-  QCheck.Test.make ~name:"optimized engine matches reference" ~count:500
+  QCheck.Test.make ~name:"vector and row engines match reference" ~count:500
     (QCheck.make ~print:sql_of gen_spec)
     agree
 
@@ -125,8 +133,16 @@ let test_fixed () =
   List.iter
     (fun sql ->
       let g = build (Engine.Db.catalog db) sql in
-      Alcotest.(check bool) sql true
-        (R.bag_equal_approx (Engine.Exec.run db g) (Engine.Reference.run db g)))
+      let slow = Engine.Reference.run db g in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s [%s]" sql (Engine.Exec.engine_to_string e))
+            true
+            (R.bag_equal_approx
+               (Engine.Exec.with_engine e (fun () -> Engine.Exec.run db g))
+               slow))
+        [ Engine.Exec.Vector; Engine.Exec.Row ])
     fixed_cases
 
 let suite =

@@ -196,6 +196,76 @@ let test_scan_error () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "missing table contents should fail"
 
+(* NaN is a float value, not NULL. The aggregate accumulators once tested
+   for "no value yet" with structural (=) against V.Null — harmless until a
+   NaN arrives, because (=) on nan is false even against itself. Every
+   engine must count NaN as present, let it poison SUM/AVG, and order it
+   with the same total order (Float.compare: nan below every number, so
+   MIN picks it and MAX ignores it). *)
+let test_nan_aggregates () =
+  let cat =
+    Catalog.(
+      add_table empty
+        {
+          tbl_name = "m";
+          tbl_cols =
+            [
+              { col_name = "g"; col_ty = V.Tint; nullable = false };
+              { col_name = "x"; col_ty = V.Tfloat; nullable = true };
+            ];
+          primary_key = [];
+          unique_keys = [];
+          foreign_keys = [];
+        })
+  in
+  let rel =
+    R.create [ "g"; "x" ]
+      [
+        [| i 1; f 1.5 |];
+        [| i 1; f Float.nan |];
+        [| i 2; f Float.nan |];
+        [| i 2; V.Null |];
+        [| i 2; f 2.0 |];
+      ]
+  in
+  let db = Engine.Db.of_tables cat [ ("m", rel) ] in
+  let sql =
+    "SELECT g, COUNT(x) AS c, SUM(x) AS s, MIN(x) AS mn, MAX(x) AS mx, \
+     AVG(x) AS a FROM m GROUP BY g"
+  in
+  let vec = Engine.Exec.with_engine Engine.Exec.Vector (fun () -> run db sql) in
+  let row = Engine.Exec.with_engine Engine.Exec.Row (fun () -> run db sql) in
+  let orc = Engine.Reference.run db (build cat sql) in
+  (* bag_equal_approx can't see NaN = NaN (abs-diff on nan is false), so
+     compare under the polymorphic total order instead *)
+  let same what a b =
+    Alcotest.(check bool) what true (compare (sorted_rows a) (sorted_rows b) = 0)
+  in
+  same "vector = row over NaN" vec row;
+  same "vector = reference over NaN" vec orc;
+  let checked = ref 0 in
+  List.iter
+    (fun r ->
+      let is_nan what = function
+        | V.Float x -> Alcotest.(check bool) what true (Float.is_nan x)
+        | v -> Alcotest.failf "%s: got %s" what (V.to_string v)
+      in
+      match Array.to_list r with
+      | [ V.Int 1; V.Int c; s; mn; V.Float mx; a ] ->
+          incr checked;
+          Alcotest.(check int) "COUNT includes NaN" 2 c;
+          is_nan "SUM poisoned by NaN" s;
+          is_nan "MIN orders NaN below all" mn;
+          Alcotest.(check (float 1e-9)) "MAX skips NaN" 1.5 mx;
+          is_nan "AVG poisoned by NaN" a
+      | [ V.Int 2; V.Int c; _; _; _; _ ] ->
+          incr checked;
+          (* NULL excluded, NaN counted *)
+          Alcotest.(check int) "COUNT: NULL out, NaN in" 2 c
+      | _ -> Alcotest.failf "unexpected row shape in %s" (R.to_string vec))
+    (R.rows vec);
+  Alcotest.(check int) "both groups present" 2 !checked
+
 let suite =
   [
     Alcotest.test_case "3vl filtering" `Quick test_filter_3vl;
@@ -215,4 +285,6 @@ let suite =
     Alcotest.test_case "rollup execution" `Quick test_rollup_execution;
     Alcotest.test_case "having" `Quick test_having;
     Alcotest.test_case "missing contents" `Quick test_scan_error;
+    Alcotest.test_case "NaN aggregates across engines" `Quick
+      test_nan_aggregates;
   ]
