@@ -802,20 +802,39 @@ let print_wire_outcome = function
       print_endline (Data.Relation.to_string (Data.Relation.create cols rows))
 
 (* Send one script to the server; print outcomes or the typed error.
-   Returns false when the request failed. *)
-let remote_exec client sql =
-  match Server.Client.request client sql with
-  | Ok r ->
-      List.iter print_wire_outcome r.Server.Wire.rp_results;
-      true
-  | Error e ->
-      Printf.printf "error: %s\n" (Server.Wire.error_to_string e);
-      false
+   Returns false when the request failed. With [attempts > 1] the robust
+   path is used: transport faults and overload shed retry under the
+   client's idempotency discipline instead of raising. *)
+let remote_exec ?(attempts = 1) client sql =
+  let print_reply (r : Server.Wire.reply) =
+    (match r.Server.Wire.rp_degraded with
+    | [] -> ()
+    | ds ->
+        Printf.eprintf "note: degraded answer (%s)\n%!"
+          (String.concat ", " ds));
+    List.iter print_wire_outcome r.Server.Wire.rp_results;
+    true
+  in
+  if attempts <= 1 then
+    match Server.Client.request client sql with
+    | Ok r -> print_reply r
+    | Error e ->
+        Printf.printf "error: %s\n" (Server.Wire.error_to_string e);
+        false
+    | exception Server.Lineio.Read_timeout _ ->
+        Printf.printf "error: no response within the timeout\n";
+        false
+  else
+    match Server.Client.request_robust client ~attempts sql with
+    | Ok r -> print_reply r
+    | Error f ->
+        Printf.printf "error: %s\n" (Server.Client.failure_to_string f);
+        false
 
 (* The remote REPL reuses the local shell's read-accumulate-until-';'
    loop, but each complete buffer travels the wire instead of hitting a
    local session. A typed error never kills the shell. *)
-let remote_repl client =
+let remote_repl ~attempts client =
   print_endline
     "astql — connected; type SQL statements ending with ';'  (\\q to quit)";
   let buf = Buffer.create 256 in
@@ -833,7 +852,7 @@ let remote_repl client =
           if String.contains line ';' then begin
             let text = Buffer.contents buf in
             Buffer.clear buf;
-            match remote_exec client text with
+            match remote_exec ~attempts client text with
             | (_ : bool) -> ()
             | exception End_of_file ->
                 print_endline "server closed the connection";
@@ -866,13 +885,37 @@ let connect_cmd =
     let doc =
       "Retry connection establishment up to $(docv) times with bounded \
        exponential backoff (50ms doubling, capped at 1s) — for scripts \
-       racing a server that is still booting or recovering a WAL."
+       racing a server that is still booting or recovering a WAL. Also \
+       budgets each reconnect the $(b,--retries) path makes."
     in
     Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N" ~doc)
   in
-  let run addr retries sql files =
+  let timeout_arg =
+    let doc =
+      "Per-request response timeout in milliseconds (0 = wait forever). A \
+       server that stalls past it counts as a transport failure — \
+       retryable under $(b,--retries) when the script is read-only."
+    in
+    Arg.(value & opt float 0. & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Request-level resilience: try each request up to $(docv) times, \
+       reconnecting with jittered exponential backoff (honoring the \
+       server's $(b,retry_after_ms) hint when shed). Typed definitive \
+       errors never retry; ambiguous transport failures retry only for \
+       read-only scripts — a write whose fate is unknown fails instead of \
+       risking double execution."
+    in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let run addr retries timeout_ms attempts sql files =
+    if attempts < 1 then begin
+      Printf.eprintf "--retries must be >= 1\n";
+      Stdlib.exit 2
+    end;
     let client =
-      try Server.Client.connect ~retries addr
+      try Server.Client.connect ~retries ~timeout_ms addr
       with
       | Unix.Unix_error (e, _, _) ->
           Printf.eprintf "cannot connect to %s: %s\n" addr
@@ -888,10 +931,13 @@ let connect_cmd =
           (fun f -> In_channel.with_open_text f In_channel.input_all)
           files
     in
-    if scripts = [] then remote_repl client
+    if scripts = [] then remote_repl ~attempts client
     else begin
       let ok =
-        try List.fold_left (fun ok s -> remote_exec client s && ok) true scripts
+        try
+          List.fold_left
+            (fun ok s -> remote_exec ~attempts client s && ok)
+            true scripts
         with End_of_file ->
           Printf.eprintf "server closed the connection\n";
           false
@@ -901,7 +947,9 @@ let connect_cmd =
     end
   in
   Cmd.v (Cmd.info "connect" ~doc)
-    Term.(const run $ addr_pos $ retry_arg $ exec_arg $ conn_files)
+    Term.(
+      const run $ addr_pos $ retry_arg $ timeout_arg $ retries_arg $ exec_arg
+      $ conn_files)
 
 let () =
   let doc = "answering complex SQL queries using automatic summary tables" in

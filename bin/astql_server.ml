@@ -77,12 +77,22 @@ let state_empty shared =
   let snap = Mvstore.Shared.snapshot shared in
   Catalog.tables (Engine.Db.catalog snap.Mvstore.Shared.sn_db) = []
 
+let m_ckpt_skipped = Obs.Metrics.counter "durable.checkpoint_skipped"
+
 let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
-    match_budget validate exec_engine fault crash metrics_out demo scale
-    durability fsync checkpoint_every drain_ms files =
+    match_budget request_deadline_ms idle_timeout_ms io_timeout_ms
+    degrade_watermark retry_after_ms validate exec_engine fault crash
+    metrics_out demo scale durability fsync checkpoint_every drain_ms files =
   arm_faults fault;
   arm_crashes crash;
   set_validate validate;
+  (* chaos-harness knob: how long an armed wire_stall_read fault stalls *)
+  (match Sys.getenv_opt "ASTQL_WIRE_STALL_MS" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some ms when ms >= 0. -> Guard.Fault.set_wire_stall_ms ms
+      | _ -> ())
+  | None -> ());
   (match exec_engine with
   | None -> ()
   | Some e -> Engine.Exec.set_engine e);
@@ -151,15 +161,20 @@ let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
     List.iter (Mvstore.Maint.enqueue (Mvstore.Session.maint s)) quarantined;
     s
   in
+  (* the first overload rung defaults to half the queue: plenty of slack
+     absorbed at full quality, degraded-but-correct service beyond *)
+  let degrade_watermark =
+    match degrade_watermark with
+    | Some w -> w
+    | None -> max 1 (queue_depth / 2)
+  in
   let srv =
     match
       Server.Listener.start
-        {
-          Server.Listener.cf_addr;
-          cf_domains = domains;
-          cf_queue_depth = queue_depth;
-          cf_backlog = backlog;
-        }
+        (Server.Listener.config ~addr:cf_addr ~domains
+           ~queue_depth ~backlog ~degrade_watermark ~retry_after_ms
+           ~idle_timeout_ms ~io_timeout_ms
+           ~request_deadline_ms ())
         ~mk_session
     with
     | srv -> srv
@@ -187,16 +202,33 @@ let serve addr domains queue_depth backlog no_rewrite auto_maint deadline_ms
   done;
   Printf.eprintf "astql-server: shutting down (draining up to %d ms)\n%!"
     drain_ms;
+  let t_stop = Obs.Metrics.now_ms () in
   Server.Listener.stop ~drain_ms srv;
+  let drain_elapsed_ms = Obs.Metrics.now_ms () -. t_stop in
   (match durable with
   | None -> ()
   | Some (mgr, _, _) ->
       (* every request is done or disconnected: fold the log into a final
-         checkpoint so the next boot skips replay entirely *)
-      Durable.Manager.checkpoint mgr;
-      Durable.Manager.close mgr;
-      Printf.eprintf "astql-server: final checkpoint at lsn %d\n%!"
-        (Durable.Manager.checkpoint_lsn mgr));
+         checkpoint so the next boot skips replay entirely — unless the
+         drain already consumed the shutdown window. A supervisor that
+         sent SIGTERM follows with SIGKILL; a checkpoint cut down by it
+         would be discarded at recovery anyway, while the WAL already
+         holds every acknowledged write. Skipping is safe (recovery
+         replays), so spend no time we were not given. *)
+      if drain_ms > 0 && drain_elapsed_ms >= float_of_int drain_ms then begin
+        Obs.Metrics.incr m_ckpt_skipped;
+        Printf.eprintf
+          "astql-server: durable.checkpoint_skipped — drain consumed the \
+           shutdown window (%.0f of %d ms); WAL replay covers the rest\n\
+           %!"
+          drain_elapsed_ms drain_ms
+      end
+      else begin
+        Durable.Manager.checkpoint mgr;
+        Printf.eprintf "astql-server: final checkpoint at lsn %d\n%!"
+          (Durable.Manager.checkpoint_lsn mgr)
+      end;
+      Durable.Manager.close mgr);
   match metrics_out with
   | None -> ()
   | Some path -> (
@@ -251,6 +283,60 @@ let deadline_arg =
 let match_budget_arg =
   let doc = "Per-statement cap on match-function invocations." in
   Arg.(value & opt (some int) None & info [ "match-budget" ] ~docv:"N" ~doc)
+
+let request_deadline_arg =
+  let doc =
+    "Default per-request deadline in milliseconds (a request's own \
+     $(b,opts.deadline_ms) takes precedence; either can only tighten \
+     $(b,--deadline-ms)). On expiry the request degrades to the best plan \
+     found — annotated in the reply — instead of failing. 0 disables."
+  in
+  let env =
+    Cmd.Env.info "ASTQL_REQUEST_DEADLINE_MS" ~doc:"Default request deadline."
+  in
+  Arg.(
+    value & opt float 0. & info [ "request-deadline-ms" ] ~env ~docv:"MS" ~doc)
+
+let idle_timeout_arg =
+  let doc =
+    "Reap connections idle between requests after $(docv) milliseconds, \
+     freeing their worker (quiet close, counted in \
+     $(b,server.idle_reaped)). 0 disables."
+  in
+  let env = Cmd.Env.info "ASTQL_IDLE_TIMEOUT_MS" ~doc:"Default idle timeout." in
+  Arg.(value & opt float 0. & info [ "idle-timeout-ms" ] ~env ~docv:"MS" ~doc)
+
+let io_timeout_arg =
+  let doc =
+    "Bound mid-frame reads and response writes to $(docv) milliseconds: a \
+     peer that stalls inside a request line or stops draining its socket \
+     costs one connection, never a worker. 0 disables."
+  in
+  let env = Cmd.Env.info "ASTQL_IO_TIMEOUT_MS" ~doc:"Default io timeout." in
+  Arg.(value & opt float 0. & info [ "io-timeout-ms" ] ~env ~docv:"MS" ~doc)
+
+let degrade_watermark_arg =
+  let doc =
+    "First overload rung: with at least $(docv) jobs waiting, requests \
+     are served from base plans (the rewrite search is skipped) and \
+     replies carry a $(b,degraded) annotation. Defaults to half the queue \
+     depth; -1 disables the rung."
+  in
+  let env =
+    Cmd.Env.info "ASTQL_DEGRADE_WATERMARK" ~doc:"Default degrade watermark."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "degrade-watermark" ] ~env ~docv:"N" ~doc)
+
+let retry_after_arg =
+  let doc =
+    "Backoff hint (milliseconds) carried by $(b,overloaded) rejections; \
+     well-behaved clients wait at least this long before reconnecting."
+  in
+  let env = Cmd.Env.info "ASTQL_RETRY_AFTER_MS" ~doc:"Default backoff hint." in
+  Arg.(value & opt int 50 & info [ "retry-after-ms" ] ~env ~docv:"MS" ~doc)
 
 let validate_conv =
   let parse s =
@@ -383,7 +469,9 @@ let () =
           Term.(
             const serve $ addr_arg $ domains_arg $ queue_depth_arg
             $ backlog_arg $ no_rewrite_flag $ auto_maint_flag $ deadline_arg
-            $ match_budget_arg $ validate_arg $ engine_arg $ fault_arg
+            $ match_budget_arg $ request_deadline_arg $ idle_timeout_arg
+            $ io_timeout_arg $ degrade_watermark_arg $ retry_after_arg
+            $ validate_arg $ engine_arg $ fault_arg
             $ crash_arg $ metrics_out_arg $ demo_flag $ scale_arg
             $ durability_arg $ fsync_arg $ checkpoint_every_arg $ drain_ms_arg
             $ files_arg)))

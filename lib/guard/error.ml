@@ -61,6 +61,11 @@ let stage_of_point = function
   | Fault.Refresh -> Refresh
   | Fault.Delay -> Match
   | Fault.Accept -> Accept
+  (* wire faults strike while a connection is being served; same
+     containment domain as the accept/handler path *)
+  | Fault.Wire_partial_write | Fault.Wire_stall_read | Fault.Wire_disconnect
+  | Fault.Wire_corrupt ->
+      Accept
   | Fault.Wal_append | Fault.Wal_fsync | Fault.Checkpoint_write
   | Fault.Checkpoint_rename ->
       Durability

@@ -21,6 +21,10 @@ type point =
   | Wal_fsync
   | Checkpoint_write
   | Checkpoint_rename
+  | Wire_partial_write
+  | Wire_stall_read
+  | Wire_disconnect
+  | Wire_corrupt
 
 exception Injected of point
 
@@ -37,11 +41,16 @@ let point_name = function
   | Wal_fsync -> "wal_fsync"
   | Checkpoint_write -> "checkpoint_write"
   | Checkpoint_rename -> "checkpoint_rename"
+  | Wire_partial_write -> "wire_partial_write"
+  | Wire_stall_read -> "wire_stall_read"
+  | Wire_disconnect -> "wire_disconnect"
+  | Wire_corrupt -> "wire_corrupt"
 
 let all_points =
   [
     Navigate; Match; Compensate; Translate; Corrupt; Refresh; Delay; Accept;
     Wal_append; Wal_fsync; Checkpoint_write; Checkpoint_rename;
+    Wire_partial_write; Wire_stall_read; Wire_disconnect; Wire_corrupt;
   ]
 
 let idx = function
@@ -57,8 +66,12 @@ let idx = function
   | Wal_fsync -> 9
   | Checkpoint_write -> 10
   | Checkpoint_rename -> 11
+  | Wire_partial_write -> 12
+  | Wire_stall_read -> 13
+  | Wire_disconnect -> 14
+  | Wire_corrupt -> 15
 
-let n_points = 12
+let n_points = 16
 
 (* remaining hits before the point fires; None = disarmed *)
 let countdown : int option array = Array.make n_points None
@@ -100,6 +113,16 @@ let maybe_delay () =
   | None -> ()
   | Some 1 -> Unix.sleepf (!delay_ms /. 1000.)
   | Some n -> countdown.(idx Delay) <- Some (n - 1)
+
+(* How long a fired [Wire_stall_read] stalls the serving loop before it
+   reads the next request — long enough to trip a client-side response
+   timeout when one is set, short enough that a 2 s liveness probe still
+   answers after the one-shot stall clears. *)
+let wire_stall_ms = ref 250.0
+
+let set_wire_stall_ms ms =
+  if ms < 0. then invalid_arg "Fault.set_wire_stall_ms: negative stall";
+  wire_stall_ms := ms
 
 (* ---------------- spec strings ---------------- *)
 

@@ -22,6 +22,10 @@ type point =
   | Wal_fsync    (** WAL fsync (crash loses the un-synced suffix) *)
   | Checkpoint_write   (** checkpoint temp-file write (crash mid-write) *)
   | Checkpoint_rename  (** checkpoint atomic rename (crash just before) *)
+  | Wire_partial_write (** reply cut mid-line, then forced disconnect *)
+  | Wire_stall_read    (** serving loop stalls before the next read *)
+  | Wire_disconnect    (** connection dropped after execution, before reply *)
+  | Wire_corrupt       (** reply bytes corrupted in flight (line intact) *)
 
 exception Injected of point
 
@@ -45,7 +49,8 @@ val hit : point -> unit
 
 (** Parse and arm a spec like ["match:3,compensate"] (missing count = 1).
     Point names: navigate, match, compensate, translate, corrupt, refresh,
-    delay, accept. *)
+    delay, accept, and the wire points (wire_partial_write,
+    wire_stall_read, wire_disconnect, wire_corrupt). *)
 val arm_spec : string -> (unit, string) result
 
 (** How long a fired [Delay] point stalls (default 10 ms). *)
@@ -57,6 +62,13 @@ val set_delay_ms : float -> unit
     expiry is deterministically reachable however many match calls a plan
     needs. Disarmed calls cost one array read. *)
 val maybe_delay : unit -> unit
+
+(** How long a fired [Wire_stall_read] stalls the serving loop (default
+    250 ms). The serving loop polls it with {!fire} — one-shot, like the
+    other wire points. *)
+val wire_stall_ms : float ref
+
+val set_wire_stall_ms : float -> unit
 
 (** [ASTQL_FAULT_SEED] from the environment, when set and numeric (used by
     the randomized fault-injection tests and the CI matrix job). *)

@@ -31,6 +31,10 @@ type t = {
   mutable strace : bool;        (* record a span trace per planning attempt *)
   straces : Obs.Trace.ring;     (* recent traces (astql \trace show) *)
   mutable slimits : Govern.Budget.limits;  (* per-statement default budget *)
+  mutable sdegraded : string list;
+      (* budget-exhaustion reasons recorded since the last [reset_degraded]
+         — the server annotates replies with them so a client can tell a
+         full-quality answer from a degraded-but-correct one *)
   mutable sauto_maint : bool;   (* drain the maintenance queue at boundaries *)
   smaint : Maint.t;             (* deferred-maintenance queue *)
   mutable son_commit : (commit -> unit) option;
@@ -61,6 +65,7 @@ let create ?(rewrite = true) ?plan_capacity ?(verify = Off)
       (match budget with
       | Some l -> l
       | None -> Govern.Budget.default_limits ());
+    sdegraded = [];
     sauto_maint = auto_maint;
     smaint = Maint.create ();
     son_commit = None;
@@ -84,6 +89,7 @@ let of_tables ?(rewrite = true) ?plan_capacity ?(verify = Off)
       (match budget with
       | Some l -> l
       | None -> Govern.Budget.default_limits ());
+    sdegraded = [];
     sauto_maint = auto_maint;
     smaint = Maint.create ();
     son_commit = None;
@@ -157,6 +163,17 @@ let clear_traces t = Obs.Trace.clear t.straces
 let set_verify t v =
   t.sverify <- v;
   t.sverify_acc <- 0.
+
+(* Degradation annotations: every place the budget ladder trades quality
+   for survival records the typed reason here; the server resets before a
+   request and folds what accumulated into the reply. Deduplicated — one
+   request can exhaust the same budget in planning and execution. *)
+let note_degraded t reason =
+  if not (List.mem reason t.sdegraded) then
+    t.sdegraded <- reason :: t.sdegraded
+
+let degraded_reasons t = List.rev t.sdegraded
+let reset_degraded t = t.sdegraded <- []
 
 let db t = t.sdb
 let store t = t.sstore
@@ -519,6 +536,9 @@ let run_query_unrewritten t g = (Engine.Exec.run t.sdb g, [])
 
 let run_query_routed ?budget t g =
   let r = plan_query ?budget t g in
+  (match r.Plancache.Planner.pr_degraded with
+  | Some reason -> note_degraded t (Govern.Budget.reason_name reason)
+  | None -> ());
   match r.Plancache.Planner.pr_steps with
   | [] -> run_query_unrewritten t g
   | steps -> (
@@ -536,10 +556,11 @@ let run_query_routed ?budget t g =
         Guard.Sandbox.protect ~stage:Guard.Error.Execute (fun () ->
             Engine.Exec.run ?budget t.sdb r.pr_graph)
       with
-      | exception Govern.Budget.Budget_exhausted _ ->
+      | exception Govern.Budget.Budget_exhausted reason ->
           (* the rewritten plan ran out of road mid-execution: containment
              path, minus the quarantine — the plan is fine, the budget was
              not. The base plan runs unbudgeted: correctness first. *)
+          note_degraded t (Govern.Budget.reason_name reason);
           Obs.Metrics.incr m_exec_degraded;
           st.Plancache.Stats.fallbacks <- st.Plancache.Stats.fallbacks + 1;
           run_query_unrewritten t g

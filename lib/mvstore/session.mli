@@ -118,6 +118,23 @@ val limits : t -> Govern.Budget.limits
 
 val set_limits : t -> Govern.Budget.limits -> unit
 
+(** Budget-degradation annotations. Whenever the ladder trades quality for
+    survival — planning stopped at the best-so-far plan, or rewritten
+    execution fell back to the (unbudgeted) base plan — the typed
+    exhaustion reason ({!Govern.Budget.reason_name}: ["deadline"],
+    ["match-budget"], ...) is recorded on the session. The server resets
+    this before each request and folds what accumulated into the reply's
+    ["degraded"] annotation. Deduplicated, oldest first. *)
+val degraded_reasons : t -> string list
+
+val reset_degraded : t -> unit
+
+(** Statement classification for the shared-state discipline (and for
+    client-side retry safety): [true] exactly for the statements that
+    mutate the database, i.e. those that serialize through the writer lock
+    and must not be blindly retried after an ambiguous acknowledgement. *)
+val stmt_writes : Sqlsyn.Ast.stmt -> bool
+
 (** Deferred-maintenance drain on/off (see [?auto_maint] above). Stale
     tables are {e always} enqueued; this only controls whether the queue
     drains automatically. *)

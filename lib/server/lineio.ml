@@ -1,4 +1,6 @@
 exception Line_too_long
+exception Read_timeout of { rt_partial : bool }
+exception Write_timeout
 
 (* 8 MiB: far above any legitimate statement, far below memory trouble. *)
 let max_line_bytes = 8 * 1024 * 1024
@@ -9,10 +11,57 @@ type t = {
   mutable lo : int; (* unconsumed bytes are chunk.[lo..hi-1] *)
   mutable hi : int;
   mutable closed : bool;
+  (* 0. = block forever. idle applies while no byte of the current line has
+     arrived (a quiet peer between requests); io applies mid-line and to
+     writes (a peer that stalls inside a frame, or stops draining). *)
+  mutable idle_timeout_ms : float;
+  mutable io_timeout_ms : float;
 }
 
-let make fd = { t_fd = fd; chunk = Bytes.create 8192; lo = 0; hi = 0; closed = false }
+let make fd =
+  {
+    t_fd = fd;
+    chunk = Bytes.create 8192;
+    lo = 0;
+    hi = 0;
+    closed = false;
+    idle_timeout_ms = 0.;
+    io_timeout_ms = 0.;
+  }
+
 let fd t = t.t_fd
+
+let set_timeouts ?idle_ms ?io_ms t =
+  (match idle_ms with
+  | Some ms when ms < 0. -> invalid_arg "Lineio.set_timeouts: negative idle"
+  | Some ms -> t.idle_timeout_ms <- ms
+  | None -> ());
+  match io_ms with
+  | Some ms when ms < 0. -> invalid_arg "Lineio.set_timeouts: negative io"
+  | Some ms -> t.io_timeout_ms <- ms
+  | None -> ()
+
+(* Wait until [fd] is ready in the given direction or the timeout expires.
+   select(2) is used directly (no O_NONBLOCK juggling): the fds here are
+   sockets and pipes, where readiness means the following read/write will
+   not block. *)
+let wait_ready fd ~for_write ~timeout_ms ~on_timeout =
+  if timeout_ms > 0. then begin
+    let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.) in
+    let rec go () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then on_timeout ()
+      else
+        let r, w =
+          if for_write then ([], [ fd ]) else ([ fd ], [])
+        in
+        match Unix.select r w [] left with
+        | [], [], _ -> on_timeout ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  end
 
 let rec retry_read fd buf off len =
   match Unix.read fd buf off len with
@@ -23,13 +72,24 @@ let strip_cr s =
   let n = String.length s in
   if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
 
+(* An oversize line does not kill the stream: once the accumulator passes
+   the cap, the rest of the line is consumed without buffering and
+   [Line_too_long] is raised only after the terminating newline (or EOF)
+   — the reader is already resynchronized on the next frame, so the caller
+   can answer with a typed error and keep serving. *)
 let read_line t =
   let acc = Buffer.create 128 in
+  let discarding = ref false in
   let rec go () =
     if t.lo >= t.hi then begin
+      let partial = Buffer.length acc > 0 || !discarding in
+      wait_ready t.t_fd ~for_write:false
+        ~timeout_ms:(if partial then t.io_timeout_ms else t.idle_timeout_ms)
+        ~on_timeout:(fun () -> raise (Read_timeout { rt_partial = partial }));
       let n = retry_read t.t_fd t.chunk 0 (Bytes.length t.chunk) in
       if n = 0 then
-        if Buffer.length acc = 0 then None
+        if !discarding then raise Line_too_long
+        else if Buffer.length acc = 0 then None
         else Some (strip_cr (Buffer.contents acc))
       else begin
         t.lo <- 0;
@@ -42,11 +102,17 @@ let read_line t =
       while !i < t.hi && Bytes.get t.chunk !i <> '\n' do
         incr i
       done;
-      Buffer.add_subbytes acc t.chunk t.lo (!i - t.lo);
-      if Buffer.length acc > max_line_bytes then raise Line_too_long;
+      if not !discarding then begin
+        Buffer.add_subbytes acc t.chunk t.lo (!i - t.lo);
+        if Buffer.length acc > max_line_bytes then begin
+          Buffer.clear acc;
+          discarding := true
+        end
+      end;
       if !i < t.hi then begin
         t.lo <- !i + 1;
-        Some (strip_cr (Buffer.contents acc))
+        if !discarding then raise Line_too_long
+        else Some (strip_cr (Buffer.contents acc))
       end
       else begin
         t.lo <- t.hi;
@@ -56,10 +122,21 @@ let read_line t =
   in
   go ()
 
-let write_all fd buf off len =
+let write_all t buf off len =
+  let deadline =
+    if t.io_timeout_ms > 0. then
+      Some (Unix.gettimeofday () +. (t.io_timeout_ms /. 1000.))
+    else None
+  in
   let off = ref off and len = ref len in
   while !len > 0 do
-    match Unix.write fd buf !off !len with
+    (match deadline with
+    | None -> ()
+    | Some d ->
+        wait_ready t.t_fd ~for_write:true
+          ~timeout_ms:(Float.max 0.001 ((d -. Unix.gettimeofday ()) *. 1000.))
+          ~on_timeout:(fun () -> raise Write_timeout));
+    match Unix.write t.t_fd buf !off !len with
     | n ->
         off := !off + n;
         len := !len - n
@@ -71,7 +148,9 @@ let write_line t s =
   let b = Bytes.create (n + 1) in
   Bytes.blit_string s 0 b 0 n;
   Bytes.set b n '\n';
-  write_all t.t_fd b 0 (n + 1)
+  write_all t b 0 (n + 1)
+
+let write_raw t s = write_all t (Bytes.of_string s) 0 (String.length s)
 
 let close t =
   if not t.closed then begin

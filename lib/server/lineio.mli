@@ -10,26 +10,59 @@
     writes and [EINTR]). Callers must ignore [SIGPIPE] process-wide (the
     server and client entry points do); a peer that vanished then surfaces
     as [Unix.Unix_error (EPIPE, _, _)] from {!write_line} instead of
-    killing the process. *)
+    killing the process.
+
+    {2 Timeouts}
+
+    Two independent select-based timeouts, both off by default
+    ({!set_timeouts}): the {e idle} timeout bounds how long {!read_line}
+    waits for the {e first} byte of a line (a quiet peer between
+    requests — the server's idle-connection reaper), and the {e io}
+    timeout bounds mid-line reads (a peer that stalls inside a frame) and
+    writes (a peer that stops draining its socket). On expiry
+    {!Read_timeout} carries whether the line was already partially
+    received, so the caller can tell a harmlessly idle peer from a
+    misbehaving one. *)
 
 type t
 
 (** Raised by {!read_line} when a single line exceeds {!max_line_bytes} —
-    a malformed or hostile peer, not a legitimate request. *)
+    a malformed or hostile peer, not a legitimate request. The oversize
+    line has been consumed through its terminating newline (nothing of it
+    is buffered), so the stream is already resynchronized: the next
+    {!read_line} returns the next frame. *)
 exception Line_too_long
+
+(** Raised by {!read_line} when the configured timeout expires.
+    [rt_partial] is [false] when no byte of the line had arrived (idle
+    peer), [true] when the peer stalled mid-frame. *)
+exception Read_timeout of { rt_partial : bool }
+
+(** Raised by the write path when the peer stops draining for longer than
+    the io timeout. *)
+exception Write_timeout
 
 val max_line_bytes : int
 
 val make : Unix.file_descr -> t
 val fd : t -> Unix.file_descr
 
+(** [set_timeouts ?idle_ms ?io_ms t] — [0.] disables (block forever),
+    which is also the initial state. Omitted arguments are left
+    unchanged. Raises [Invalid_argument] on negative values. *)
+val set_timeouts : ?idle_ms:float -> ?io_ms:float -> t -> unit
+
 (** Next line without its ['\n'] (a trailing ['\r'] is also stripped, so
     CRLF peers work). [None] on clean EOF; a final unterminated line is
-    returned as-is. *)
+    returned as-is. May raise {!Line_too_long}, {!Read_timeout}. *)
 val read_line : t -> string option
 
-(** Writes [s] plus ['\n'] fully. *)
+(** Writes [s] plus ['\n'] fully. May raise {!Write_timeout}. *)
 val write_line : t -> string -> unit
+
+(** Writes [s] without a newline terminator — only the fault-injection
+    path uses this, to put a deliberately torn frame on the wire. *)
+val write_raw : t -> string -> unit
 
 (** Closes the underlying fd (idempotent). *)
 val close : t -> unit

@@ -4,6 +4,10 @@ let m_connections = Obs.Metrics.counter "server.connections"
 let m_requests = Obs.Metrics.counter "server.requests"
 let m_rejects = Obs.Metrics.counter "server.rejects"
 let m_conn_crashes = Obs.Metrics.counter "server.conn_crashes"
+let m_idle_reaped = Obs.Metrics.counter "server.idle_reaped"
+let m_stalled_conns = Obs.Metrics.counter "server.stalled_conns"
+let m_oversize_lines = Obs.Metrics.counter "server.oversize_lines"
+let m_degraded_requests = Obs.Metrics.counter "server.degraded_requests"
 let g_active = Obs.Metrics.gauge "server.active"
 let h_request_ms = Obs.Metrics.histogram "server.request_ms"
 
@@ -32,7 +36,27 @@ type config = {
   cf_domains : int;
   cf_queue_depth : int;
   cf_backlog : int;
+  cf_degrade_watermark : int;
+  cf_retry_after_ms : int;
+  cf_idle_timeout_ms : float;
+  cf_io_timeout_ms : float;
+  cf_request_deadline_ms : float;
 }
+
+let config ?(degrade_watermark = -1) ?(retry_after_ms = 50)
+    ?(idle_timeout_ms = 0.) ?(io_timeout_ms = 0.) ?(request_deadline_ms = 0.)
+    ~addr ~domains ~queue_depth ~backlog () =
+  {
+    cf_addr = addr;
+    cf_domains = domains;
+    cf_queue_depth = queue_depth;
+    cf_backlog = backlog;
+    cf_degrade_watermark = degrade_watermark;
+    cf_retry_after_ms = retry_after_ms;
+    cf_idle_timeout_ms = idle_timeout_ms;
+    cf_io_timeout_ms = io_timeout_ms;
+    cf_request_deadline_ms = request_deadline_ms;
+  }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -40,6 +64,11 @@ type t = {
   unix_path : string option;
   pool : Pool.t;
   depth : int;
+  degrade_watermark : int; (* queued >= this → serve base plans; < 0 = off *)
+  retry_after_ms : int;    (* backoff hint on the shed rung *)
+  idle_ms : float;         (* reap a conn idle between requests (0. = never) *)
+  io_ms : float;           (* mid-frame read / write stall bound (0. = none) *)
+  request_deadline_ms : float; (* default opts.deadline_ms (0. = none) *)
   stop_r : Unix.file_descr; (* self-pipe: readable <=> stop requested *)
   stop_w : Unix.file_descr;
   mutable accept_dom : unit Domain.t option;
@@ -76,32 +105,102 @@ let disconnect_all t =
 
 (* --- per-connection serving --------------------------------------------- *)
 
-let exec_request session (rq : Wire.request) =
-  match rq.Wire.rq_rewrite with
-  | None -> Mvstore.Session.exec_sql session rq.Wire.rq_sql
-  | Some b ->
-      let saved = Mvstore.Session.rewrite_enabled session in
-      Mvstore.Session.set_rewrite session b;
-      Fun.protect
-        ~finally:(fun () -> Mvstore.Session.set_rewrite session saved)
-        (fun () -> Mvstore.Session.exec_sql session rq.Wire.rq_sql)
+(* Run the statements under the request's effective settings, restoring the
+   session's own afterwards. Under queue pressure ([pressured]) the rewrite
+   search is skipped outright — base plans cost no planning and no match
+   work, which is exactly the capacity the overloaded server needs back —
+   and an explicit [opts.rewrite=true] does not override the ladder. *)
+let exec_request session (rq : Wire.request) ~pressured ~limits =
+  let saved_rw = Mvstore.Session.rewrite_enabled session in
+  let saved_limits = Mvstore.Session.limits session in
+  let rw =
+    (match rq.Wire.rq_rewrite with None -> saved_rw | Some b -> b)
+    && not pressured
+  in
+  Mvstore.Session.set_rewrite session rw;
+  Mvstore.Session.set_limits session limits;
+  Fun.protect
+    ~finally:(fun () ->
+      Mvstore.Session.set_rewrite session saved_rw;
+      Mvstore.Session.set_limits session saved_limits)
+    (fun () -> Mvstore.Session.exec_sql session rq.Wire.rq_sql)
 
-let process session line =
+(* The request's effective budget: the tighter of the session's own
+   deadline and the per-request one (explicit [opts.deadline_ms], else the
+   server default). A request can only tighten the admission-control
+   limits, never loosen them. *)
+let effective_limits t session (rq : Wire.request) =
+  let l = Mvstore.Session.limits session in
+  let requested =
+    match rq.Wire.rq_deadline_ms with
+    | Some d -> Some d
+    | None ->
+        if t.request_deadline_ms > 0. then Some t.request_deadline_ms
+        else None
+  in
+  match (requested, l.Govern.Budget.bl_deadline_ms) with
+  | None, _ -> l
+  | Some r, None -> { l with Govern.Budget.bl_deadline_ms = Some r }
+  | Some r, Some d ->
+      { l with Govern.Budget.bl_deadline_ms = Some (Float.min r d) }
+
+let process t session line =
   match Wire.request_of_line line with
   | Error e -> Wire.response_error ~id:J.Null e
   | Ok rq -> (
       let t0 = Obs.Metrics.now_ms () in
-      match exec_request session rq with
+      (* overload ladder, first rung: when the waiting queue is past the
+         watermark, serve base plans (skip the rewrite search) instead of
+         refusing — degraded service before no service *)
+      let pressured =
+        t.degrade_watermark >= 0
+        && Pool.queued t.pool >= t.degrade_watermark
+      in
+      let limits = effective_limits t session rq in
+      Mvstore.Session.reset_degraded session;
+      match exec_request session rq ~pressured ~limits with
       | outcomes ->
-          Wire.response_ok ~id:rq.Wire.rq_id
+          let degraded =
+            (if pressured then [ "overload" ] else [])
+            @ Mvstore.Session.degraded_reasons session
+          in
+          if degraded <> [] then Obs.Metrics.incr m_degraded_requests;
+          Wire.response_ok ~degraded ~id:rq.Wire.rq_id
             ~ms:(Obs.Metrics.now_ms () -. t0)
             outcomes
       | exception exn ->
           Wire.response_error ~id:rq.Wire.rq_id
             (Wire.error_of_exn ~sql:rq.Wire.rq_sql exn))
 
+(* Put the reply on the wire — or, when a wire fault point is armed, mangle
+   exactly this reply the way a hostile network would: an EOF before any
+   byte (ambiguous ack), a torn frame, or corrupted bytes inside an intact
+   line. The chaos harness arms these to prove the client's retry
+   discipline; each costs at most this connection. *)
+let send_reply io resp =
+  let line = J.to_string resp in
+  if Guard.Fault.fire Guard.Fault.Wire_disconnect then
+    try Unix.shutdown (Lineio.fd io) Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+  else if Guard.Fault.fire Guard.Fault.Wire_partial_write then begin
+    (try Lineio.write_raw io (String.sub line 0 (String.length line / 2))
+     with Unix.Unix_error _ -> ());
+    try Unix.shutdown (Lineio.fd io) Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+  end
+  else if Guard.Fault.fire Guard.Fault.Wire_corrupt then begin
+    let b = Bytes.of_string line in
+    Bytes.fill b 0 (min 16 (Bytes.length b)) '#';
+    Lineio.write_line io (Bytes.to_string b)
+  end
+  else Lineio.write_line io line
+
 let serve_conn t session io =
   let rec loop () =
+    (* wire fault: the serving loop stalls before its next read, as a
+       client with a response timeout would observe *)
+    if Guard.Fault.fire Guard.Fault.Wire_stall_read then
+      Unix.sleepf (!Guard.Fault.wire_stall_ms /. 1000.);
     match Lineio.read_line io with
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
@@ -114,26 +213,42 @@ let serve_conn t session io =
           ~finally:(fun () -> Atomic.decr t.inflight)
           (fun () ->
             let resp =
-              Obs.Metrics.time h_request_ms (fun () -> process session line)
+              Obs.Metrics.time h_request_ms (fun () -> process t session line)
             in
-            Lineio.write_line io (J.to_string resp));
+            send_reply io resp);
         loop ()
     | exception Lineio.Line_too_long ->
-        (* hostile or broken peer: one typed error, then hang up *)
+        (* Lineio has already consumed through the terminating newline, so
+           after the typed error the stream is clean: keep serving. A 9 MiB
+           frame costs its sender one error reply, not the connection. *)
+        Obs.Metrics.incr m_oversize_lines;
         let e =
-          Wire.error_of_exn ~sql:""
-            (Failure
-               (Printf.sprintf "request line exceeds %d bytes"
-                  Lineio.max_line_bytes))
+          Wire.mk_error "bad_request"
+            (Printf.sprintf "request line exceeds %d bytes"
+               Lineio.max_line_bytes)
         in
-        Lineio.write_line io
-          (J.to_string (Wire.response_error ~id:J.Null e))
+        Lineio.write_line io (J.to_string (Wire.response_error ~id:J.Null e));
+        loop ()
+    | exception Lineio.Read_timeout { rt_partial = false } ->
+        (* quiet peer between requests: reap silently, freeing the worker *)
+        Obs.Metrics.incr m_idle_reaped
+    | exception Lineio.Read_timeout { rt_partial = true } ->
+        (* peer stalled mid-frame: misbehaving, tell it so and hang up *)
+        Obs.Metrics.incr m_stalled_conns;
+        let e =
+          Wire.mk_error "bad_request"
+            "request frame stalled mid-line (io timeout)"
+        in
+        (try
+           Lineio.write_line io (J.to_string (Wire.response_error ~id:J.Null e))
+         with Lineio.Write_timeout | Unix.Unix_error _ -> ())
   in
   loop ()
 
 let handle t mk_session fd =
   Obs.Metrics.gauge_add g_active 1.;
   let io = Lineio.make fd in
+  Lineio.set_timeouts ~idle_ms:t.idle_ms ~io_ms:t.io_ms io;
   Fun.protect
     ~finally:(fun () ->
       Obs.Metrics.gauge_add g_active (-1.);
@@ -149,21 +264,30 @@ let handle t mk_session fd =
       with
       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
           () (* peer went away mid-stream: normal hangup *)
+      | Lineio.Write_timeout ->
+          (* peer stopped draining its socket: counted, connection dropped,
+             worker lives on *)
+          Obs.Metrics.incr m_stalled_conns
       | exn ->
           Obs.Metrics.incr m_conn_crashes;
           raise exn)
 
 (* --- accept loop -------------------------------------------------------- *)
 
-let overloaded_line depth =
-  J.to_string
-    (Wire.response_error ~id:J.Null (Wire.overloaded_error ~queue_depth:depth))
-
-let reject fd depth =
+(* Overload ladder, final rung: queue full, shed the connection with a
+   typed error carrying a backoff hint. The write is bounded — a peer that
+   will not even read its rejection must not stall the accept loop. *)
+let reject t fd =
   Obs.Metrics.incr m_rejects;
   let io = Lineio.make fd in
-  (try Lineio.write_line io (overloaded_line depth)
-   with Unix.Unix_error _ -> ());
+  Lineio.set_timeouts ~io_ms:(if t.io_ms > 0. then t.io_ms else 1000.) io;
+  (try
+     Lineio.write_line io
+       (J.to_string
+          (Wire.response_error ~id:J.Null
+             (Wire.overloaded_error ~queue_depth:t.depth
+                ~retry_after_ms:t.retry_after_ms)))
+   with Lineio.Write_timeout | Unix.Unix_error _ -> ());
   Lineio.close io
 
 let accept_loop t mk_session () =
@@ -183,7 +307,7 @@ let accept_loop t mk_session () =
                 if not (Pool.submit t.pool (fun () -> handle t mk_session fd))
                 then begin
                   unregister_conn t fd;
-                  reject fd t.depth
+                  reject t fd
                 end);
             loop ()
           end
@@ -221,6 +345,12 @@ let bind_socket = function
 
 let start config ~mk_session =
   if config.cf_domains < 1 then invalid_arg "Listener.start: domains < 1";
+  if config.cf_retry_after_ms < 0 then
+    invalid_arg "Listener.start: retry_after_ms < 0";
+  if config.cf_idle_timeout_ms < 0. || config.cf_io_timeout_ms < 0. then
+    invalid_arg "Listener.start: negative timeout";
+  if config.cf_request_deadline_ms < 0. then
+    invalid_arg "Listener.start: negative request deadline";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd, unix_path = bind_socket config.cf_addr in
   Unix.listen listen_fd (max 1 config.cf_backlog);
@@ -237,6 +367,11 @@ let start config ~mk_session =
       unix_path;
       pool;
       depth = config.cf_queue_depth;
+      degrade_watermark = config.cf_degrade_watermark;
+      retry_after_ms = config.cf_retry_after_ms;
+      idle_ms = config.cf_idle_timeout_ms;
+      io_ms = config.cf_io_timeout_ms;
+      request_deadline_ms = config.cf_request_deadline_ms;
       stop_r;
       stop_w;
       accept_dom = None;

@@ -8,15 +8,37 @@
     pool; within a connection, requests are strictly ordered — that is
     what makes per-client results reproducible.
 
-    Backpressure ladder, outermost first:
+    {2 Overload ladder}
+
+    Outermost first:
     + the kernel listen backlog absorbs connection bursts;
     + accepted connections queue in the pool up to [cf_queue_depth];
-    + beyond that the listener answers one typed [overloaded] error line
-      and closes — never an unbounded queue, never a silent drop.
+    + past [cf_degrade_watermark] queued jobs, requests are served from
+      {e base plans} — the rewrite search (the expensive, optional part of
+      a request) is skipped, replies carry an ["overload"] entry in their
+      ["degraded"] annotation, and every answer is still correct;
+    + queue full: one typed [overloaded] error line with a
+      [retry_after_ms] backoff hint, then close — never an unbounded
+      queue, never a silent drop.
 
-    A handler that raises (including an armed [accept] fault) closes its
-    own connection and is counted; the accept loop and the other workers
-    are untouched. *)
+    {2 Hardened wire IO}
+
+    [cf_idle_timeout_ms] reaps connections idle between requests (quiet,
+    counted in [server.idle_reaped]); [cf_io_timeout_ms] bounds mid-frame
+    reads and response writes, so a peer that stalls inside a frame or
+    stops draining costs one connection ([server.stalled_conns]), never a
+    worker. An oversize request line (> {!Lineio.max_line_bytes}) is
+    answered with a typed [bad_request] and the stream resynchronizes at
+    the next newline — the connection keeps serving. A handler that raises
+    (including an armed [accept] fault) closes its own connection and is
+    counted; the accept loop and the other workers are untouched.
+
+    {2 Request deadlines}
+
+    [cf_request_deadline_ms > 0] gives every request that deadline unless
+    it carries its own [opts.deadline_ms]; either can only tighten the
+    session's admission-control limits, never loosen them. Expiry degrades
+    (annotated in the reply), it does not fail. *)
 
 type addr =
   | Unix_path of string        (** Unix-domain socket at this path *)
@@ -33,14 +55,39 @@ type config = {
   cf_domains : int;       (** worker domains (>= 1) *)
   cf_queue_depth : int;   (** bounded waiting queue (>= 0) *)
   cf_backlog : int;       (** listen(2) backlog *)
+  cf_degrade_watermark : int;
+      (** queued jobs at/past this → base-plan-only serving; [< 0]
+          disables the rung (straight from full service to shed) *)
+  cf_retry_after_ms : int;  (** backoff hint in [overloaded] errors *)
+  cf_idle_timeout_ms : float;   (** reap idle connections; [0.] = never *)
+  cf_io_timeout_ms : float;     (** mid-frame/write stall bound; [0.] = none *)
+  cf_request_deadline_ms : float;
+      (** default per-request deadline; [0.] = none *)
 }
+
+(** Build a config; the resilience knobs default to off
+    ([degrade_watermark = -1], no timeouts, no default deadline,
+    [retry_after_ms = 50]). *)
+val config :
+  ?degrade_watermark:int ->
+  ?retry_after_ms:int ->
+  ?idle_timeout_ms:float ->
+  ?io_timeout_ms:float ->
+  ?request_deadline_ms:float ->
+  addr:addr ->
+  domains:int ->
+  queue_depth:int ->
+  backlog:int ->
+  unit ->
+  config
 
 type t
 
 (** Bind, listen, spawn the workers and the accept domain, and return.
     [mk_session] runs once per accepted connection, in the worker domain
     that serves it. Raises [Unix.Unix_error] when the address cannot be
-    bound. Ignores [SIGPIPE] process-wide. *)
+    bound, [Invalid_argument] on nonsensical knobs. Ignores [SIGPIPE]
+    process-wide. *)
 val start : config -> mk_session:(unit -> Mvstore.Session.t) -> t
 
 (** The bound address ([Tcp] with port [0] resolves to the real port). *)

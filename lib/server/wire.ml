@@ -13,16 +13,28 @@ type error = {
   we_kind : string option;
   we_mv : string option;
   we_statement : string option;
+  we_retry_after_ms : int option;
 }
 
-type request = { rq_id : J.t; rq_sql : string; rq_rewrite : bool option }
+type request = {
+  rq_id : J.t;
+  rq_sql : string;
+  rq_rewrite : bool option;
+  rq_deadline_ms : float option;
+}
 
 type outcome =
   | Msg of string
   | Table of string list * Data.Value.t array list
   | Plan of string
 
-type reply = { rp_id : J.t; rp_ms : float; rp_results : outcome list }
+type reply = {
+  rp_id : J.t;
+  rp_ms : float;
+  rp_results : outcome list;
+  rp_degraded : string list;
+}
+
 type response = Reply of reply | Failed of J.t * error
 
 (* --- values ------------------------------------------------------------- *)
@@ -73,7 +85,7 @@ let kind_name (k : Guard.Error.kind) =
   | Guard.Error.Ill_formed _ -> "ill_formed"
   | Guard.Error.Unexpected _ -> "unexpected"
 
-let mk_error ?stage ?kind ?mv ?statement code msg =
+let mk_error ?stage ?kind ?mv ?statement ?retry_after_ms code msg =
   {
     we_code = code;
     we_msg = msg;
@@ -81,6 +93,7 @@ let mk_error ?stage ?kind ?mv ?statement code msg =
     we_kind = kind;
     we_mv = mv;
     we_statement = statement;
+    we_retry_after_ms = retry_after_ms;
   }
 
 let of_classified ~code ~sql (e : Guard.Error.t) =
@@ -103,31 +116,41 @@ let error_of_exn ~sql exn =
       in
       of_classified ~code ~sql e
 
-let overloaded_error ~queue_depth =
-  mk_error "overloaded"
+let overloaded_error ~queue_depth ~retry_after_ms =
+  mk_error ~retry_after_ms "overloaded"
     (Printf.sprintf
        "server overloaded: all workers busy and the waiting queue (depth \
-        %d) is full; retry later"
-       queue_depth)
+        %d) is full; retry in %d ms"
+       queue_depth retry_after_ms)
 
 let opt_str = function None -> J.Null | Some s -> J.Str s
 
 let error_to_json e =
   J.Obj
-    [
-      ("code", J.Str e.we_code);
-      ("msg", J.Str e.we_msg);
-      ("stage", opt_str e.we_stage);
-      ("kind", opt_str e.we_kind);
-      ("mv", opt_str e.we_mv);
-      ("statement", opt_str e.we_statement);
-    ]
+    ([
+       ("code", J.Str e.we_code);
+       ("msg", J.Str e.we_msg);
+       ("stage", opt_str e.we_stage);
+       ("kind", opt_str e.we_kind);
+       ("mv", opt_str e.we_mv);
+       ("statement", opt_str e.we_statement);
+     ]
+    @
+    match e.we_retry_after_ms with
+    | None -> []
+    | Some ms -> [ ("retry_after_ms", J.Int ms) ])
 
 let error_to_string e =
   let ctx =
     List.filter_map
       (fun (k, v) -> Option.map (fun v -> k ^ "=" ^ v) v)
-      [ ("stage", e.we_stage); ("kind", e.we_kind); ("mv", e.we_mv) ]
+      [
+        ("stage", e.we_stage);
+        ("kind", e.we_kind);
+        ("mv", e.we_mv);
+        ( "retry_after_ms",
+          Option.map string_of_int e.we_retry_after_ms );
+      ]
   in
   Printf.sprintf "%s: %s%s" e.we_code e.we_msg
     (if ctx = [] then "" else " [" ^ String.concat ", " ctx ^ "]")
@@ -135,30 +158,67 @@ let error_to_string e =
 (* --- requests ----------------------------------------------------------- *)
 
 let request_to_json r =
-  let base = [ ("id", r.rq_id); ("sql", J.Str r.rq_sql) ] in
-  match r.rq_rewrite with
-  | None -> J.Obj base
-  | Some b -> J.Obj (base @ [ ("opts", J.Obj [ ("rewrite", J.Bool b) ]) ])
-
-let request_of_line line =
-  let bad msg =
-    Error (mk_error ~statement:line "bad_request" msg)
+  let opts =
+    (match r.rq_rewrite with
+    | None -> []
+    | Some b -> [ ("rewrite", J.Bool b) ])
+    @
+    match r.rq_deadline_ms with
+    | None -> []
+    | Some d -> [ ("deadline_ms", J.Float d) ]
   in
+  let base = [ ("id", r.rq_id); ("sql", J.Str r.rq_sql) ] in
+  match opts with
+  | [] -> J.Obj base
+  | opts -> J.Obj (base @ [ ("opts", J.Obj opts) ])
+
+(* Strict typing on the recognized opts: a client that sends
+   {"rewrite": "yes"} or a negative deadline made a mistake, and silently
+   ignoring it would execute the request under different semantics than
+   the client asked for. Unknown opts fields stay ignored (forward
+   compatibility) — only a recognized name with a wrong type is an
+   error. *)
+let request_of_line line =
+  let bad msg = Error (mk_error ~statement:line "bad_request" msg) in
   match J.of_string line with
   | Error msg -> bad ("request is not valid JSON: " ^ msg)
   | Ok (J.Obj _ as obj) -> (
       let id = Option.value ~default:J.Null (J.member "id" obj) in
       match J.member "sql" obj with
-      | Some (J.Str sql) ->
-          let rewrite =
+      | Some (J.Str sql) -> (
+          let opts =
             match J.member "opts" obj with
-            | Some opts -> (
-                match J.member "rewrite" opts with
-                | Some (J.Bool b) -> Some b
-                | _ -> None)
-            | None -> None
+            | None -> Ok (None, None)
+            | Some (J.Obj _ as opts) -> (
+                let rewrite =
+                  match J.member "rewrite" opts with
+                  | None -> Ok None
+                  | Some (J.Bool b) -> Ok (Some b)
+                  | Some _ -> Error "\"opts.rewrite\" must be a boolean"
+                in
+                let deadline =
+                  match J.member "deadline_ms" opts with
+                  | None -> Ok None
+                  | Some (J.Int n) when n > 0 -> Ok (Some (float_of_int n))
+                  | Some (J.Float x | J.Num x) when x > 0. -> Ok (Some x)
+                  | Some _ ->
+                      Error "\"opts.deadline_ms\" must be a positive number"
+                in
+                match (rewrite, deadline) with
+                | Ok r, Ok d -> Ok (r, d)
+                | Error m, _ | _, Error m -> Error m)
+            | Some _ -> Error "\"opts\" must be an object"
           in
-          Ok { rq_id = id; rq_sql = sql; rq_rewrite = rewrite }
+          match opts with
+          | Error m -> bad m
+          | Ok (rewrite, deadline_ms) ->
+              Ok
+                {
+                  rq_id = id;
+                  rq_sql = sql;
+                  rq_rewrite = rewrite;
+                  rq_deadline_ms = deadline_ms;
+                })
       | Some _ -> bad "\"sql\" must be a string"
       | None -> bad "request object has no \"sql\" field")
   | Ok _ -> bad "request must be a JSON object"
@@ -186,14 +246,13 @@ let outcome_to_json (o : Mvstore.Session.outcome) =
         [ ("type", J.Str "table"); ("columns", J.List cols);
           ("rows", J.List rows) ]
 
-let response_ok ~id ~ms outcomes =
+let response_ok ?(degraded = []) ~id ~ms outcomes =
   J.Obj
-    [
-      ("id", id);
-      ("ok", J.Bool true);
-      ("ms", J.Float ms);
-      ("results", J.List (List.map outcome_to_json outcomes));
-    ]
+    ([ ("id", id); ("ok", J.Bool true); ("ms", J.Float ms) ]
+    @ (match degraded with
+      | [] -> []
+      | ds -> [ ("degraded", J.List (List.map (fun d -> J.Str d) ds)) ])
+    @ [ ("results", J.List (List.map outcome_to_json outcomes)) ])
 
 let response_error ~id e =
   J.Obj [ ("id", id); ("ok", J.Bool false); ("error", error_to_json e) ]
@@ -257,6 +316,11 @@ let decode_error j =
     we_kind = str "kind";
     we_mv = str "mv";
     we_statement = str "statement";
+    we_retry_after_ms =
+      (match J.member "retry_after_ms" j with
+      | Some (J.Int n) -> Some n
+      | Some (J.Float x | J.Num x) -> Some (int_of_float x)
+      | _ -> None);
   }
 
 let response_of_line line =
@@ -272,13 +336,26 @@ let response_of_line line =
             | Some (J.Int n) -> float_of_int n
             | _ -> 0.
           in
+          let degraded =
+            match J.member "degraded" obj with
+            | Some (J.List ds) ->
+                List.filter_map
+                  (function J.Str s -> Some s | _ -> None)
+                  ds
+            | _ -> []
+          in
           match J.member "results" obj with
           | Some (J.List rs) ->
               let rec go acc = function
                 | [] ->
                     Ok
                       (Reply
-                         { rp_id = id; rp_ms = ms; rp_results = List.rev acc })
+                         {
+                           rp_id = id;
+                           rp_ms = ms;
+                           rp_results = List.rev acc;
+                           rp_degraded = degraded;
+                         })
                 | r :: rest -> (
                     match decode_outcome r with
                     | Ok o -> go (o :: acc) rest

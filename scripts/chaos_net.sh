@@ -1,0 +1,226 @@
+#!/usr/bin/env bash
+# Network chaos: a seeded loop over the four wire fault points
+# (wire_partial_write, wire_stall_read, wire_disconnect, wire_corrupt).
+# Each iteration boots astql-server with WAL durability and exactly one
+# wire fault armed at a seeded hit count, then drives a mixed workload of
+# INSERTs and SELECTs through the retrying client and checks the
+# serving-resilience invariants:
+#
+#   * no acked write is lost: every INSERT the client saw acknowledged is
+#     present after SIGTERM + reboot + WAL/checkpoint recovery;
+#   * no double-applied write: the wire faults strike the reply path, so
+#     every delivered INSERT executes exactly once — a duplicate row would
+#     mean the client blindly retried a non-idempotent statement across an
+#     ambiguous ack;
+#   * surviving results bag-equal a fault-free reference run of the same
+#     statements (table dump and the summary-routed aggregate);
+#   * no wedged workers: a liveness probe answers within 2 s throughout,
+#     and SIGTERM shutdown completes inside its drain bound;
+#   * at most one client-visible failure per iteration (the one-shot
+#     fault), and it is always a typed error or clean transport failure —
+#     never an escaped exception.
+#
+# A final overload-burst phase runs more concurrent clients than the
+# server's queue admits against a low degrade watermark and checks that
+# every retrying client converges (zero non-typed failures) and that the
+# first overload rung actually served degraded base-plan answers.
+#
+#   SEED=7 ITERS=12 scripts/chaos_net.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-1}"
+ITERS="${ITERS:-12}"
+INSERTS=10
+
+dune build bin/astql.exe bin/astql_server.exe
+
+ASTQL=./_build/default/bin/astql.exe
+SERVER=./_build/default/bin/astql_server.exe
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/astql-chaos-net-XXXXXX")
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/chaos.sock"
+CLI=("$ASTQL" connect --timeout-ms 1500 --retries 5)
+
+start_server() { # args: extra server flags...
+  rm -f "$SOCK"
+  ASTQL_WIRE_STALL_MS=300 "$SERVER" --addr "$SOCK" --domains 2 \
+    --drain-ms 3000 --io-timeout-ms 1000 "$@" \
+    >>"$SERVER_LOG" 2>&1 &
+  SERVER_PID=$!
+}
+
+stop_server() { # SIGTERM; shutdown must complete inside the drain bound
+  kill -TERM "$SERVER_PID" 2>/dev/null || true
+  local waited=0
+  while kill -0 "$SERVER_PID" 2>/dev/null; do
+    sleep 0.2
+    waited=$((waited + 1))
+    if [ "$waited" -gt 75 ]; then # 15 s >> drain 3 s: a wedged worker
+      echo "FAIL: server did not exit within 15 s of SIGTERM (wedged?)"
+      kill -9 "$SERVER_PID" 2>/dev/null || true
+      wait "$SERVER_PID" 2>/dev/null || true
+      SERVER_PID=
+      return 1
+    fi
+  done
+  wait "$SERVER_PID" 2>/dev/null || { SERVER_PID=; return 1; }
+  SERVER_PID=
+}
+
+probe() { # liveness: an answer within 2 s, throughout the chaos
+  timeout 2 "$ASTQL" connect --retry 5 --timeout-ms 1500 --retries 2 "$SOCK" \
+    -e 'SELECT COUNT(*) AS alive FROM kv;' >/dev/null 2>&1
+}
+
+filter_noise() { grep -v 'created\|inserted\|maintainable\|lint' || true; }
+
+# ---- fault-free reference ------------------------------------------------
+# The wire faults all strike the reply path, after execution: every
+# delivered INSERT applies exactly once, so the surviving database is the
+# full run regardless of which request's ack was torn.
+cat > "$WORK/schema.sql" <<'EOF'
+CREATE TABLE kv (seq INT NOT NULL, grp VARCHAR NOT NULL, v INT NOT NULL);
+CREATE SUMMARY TABLE kv_by_grp AS SELECT grp, SUM(v) AS sv, COUNT(*) AS n FROM kv GROUP BY grp;
+EOF
+cat > "$WORK/verify.sql" <<'EOF'
+SELECT seq, grp, v FROM kv ORDER BY seq;
+SELECT grp, SUM(v) AS sv, COUNT(*) AS n FROM kv GROUP BY grp ORDER BY grp;
+EOF
+{
+  cat "$WORK/schema.sql"
+  for i in $(seq 1 "$INSERTS"); do
+    echo "INSERT INTO kv VALUES ($i, 'g', $i);"
+  done
+  cat "$WORK/verify.sql"
+} > "$WORK/reference.sql"
+"$ASTQL" run "$WORK/reference.sql" | filter_noise > "$WORK/ref_dump.txt"
+
+POINTS=(wire_partial_write wire_stall_read wire_disconnect wire_corrupt)
+fails=0
+
+for it in $(seq 1 "$ITERS"); do
+  point=${POINTS[$(( (SEED + it) % 4 ))]}
+  hit=$(( 1 + (SEED * 3 + it) % 5 ))
+  DIR="$WORK/dur_$it"
+  SERVER_LOG="$WORK/server_$it.log"
+
+  start_server --queue-depth 8 --durability "$DIR" --fault "$point:$hit"
+  iter_fail() {
+    echo "FAIL[$it $point:$hit]: $1"
+    fails=$((fails + 1))
+  }
+
+  # schema through the booting server (the client retries the dial)
+  "$ASTQL" connect --retry 10 --timeout-ms 1500 --retries 5 "$SOCK" \
+    "$WORK/schema.sql" >/dev/null 2>&1 || true
+
+  acked=()
+  client_failures=0
+  for i in $(seq 1 "$INSERTS"); do
+    if out=$("${CLI[@]}" "$SOCK" -e "INSERT INTO kv VALUES ($i, 'g', $i);" 2>&1) \
+        && grep -q "row(s) inserted into kv" <<<"$out"; then
+      acked+=("$i")
+    else
+      client_failures=$((client_failures + 1))
+      # escaped exceptions are never acceptable, typed failures are
+      if grep -qi 'fatal error\|raised at\|backtrace' <<<"$out"; then
+        iter_fail "non-typed client failure: $(head -1 <<<"$out")"
+      fi
+    fi
+    if [ $(( i % 3 )) -eq 0 ]; then
+      probe || iter_fail "liveness probe missed its 2 s bound mid-workload"
+      # a mid-chaos read must retry through the fault and stay consistent:
+      # rows are {1..k}, so SUM(v) == k*(k+1)/2 exactly when COUNT(*) == k
+      if sel=$("${CLI[@]}" "$SOCK" \
+          -e 'SELECT grp, SUM(v) AS sv, COUNT(*) AS n FROM kv GROUP BY grp;' \
+          2>/dev/null); then
+        read -r sv n < <(awk -F'|' '/\| g / {gsub(/ /,"",$3); gsub(/ /,"",$4); print $3, $4}' <<<"$sel")
+        if [ -n "${n:-}" ] && [ "$sv" -ne $(( n * (n + 1) / 2 )) ]; then
+          iter_fail "inconsistent mid-chaos aggregate (sv=$sv n=$n)"
+        fi
+      fi
+    fi
+  done
+
+  # the armed fault is one-shot: at most one request can have failed
+  if [ "$client_failures" -gt 1 ]; then
+    iter_fail "$client_failures client failures from a one-shot fault"
+  fi
+
+  stop_server || iter_fail "shutdown after chaos workload"
+
+  # ---- reboot, recover, verify ----
+  start_server --queue-depth 8 --durability "$DIR"
+  probe || iter_fail "rebooted server missed the 2 s probe bound"
+  dump="$WORK/dump_$it.txt"
+  "$ASTQL" connect --retry 10 --timeout-ms 1500 --retries 5 "$SOCK" \
+    "$WORK/verify.sql" 2>/dev/null | filter_noise > "$dump" \
+    || iter_fail "verify run against the rebooted server failed"
+  for i in "${acked[@]}"; do
+    grep -Eq "^\| +$i +\| g " "$dump" \
+      || iter_fail "acked write seq=$i lost across recovery"
+  done
+  if ! diff -q "$WORK/ref_dump.txt" "$dump" >/dev/null; then
+    iter_fail "survivors diverge from the fault-free reference"
+    diff "$WORK/ref_dump.txt" "$dump" | head -8 | sed 's/^/  /'
+  fi
+  stop_server || iter_fail "shutdown after recovery check"
+
+  echo "ok [$it] $point:$hit acked=${#acked[@]}/$INSERTS client_failures=$client_failures"
+done
+
+# ---- overload burst: the ladder under real concurrency -------------------
+echo "== overload burst =="
+SERVER_LOG="$WORK/server_burst.log"
+start_server --degrade-watermark 1 --retry-after-ms 25 --queue-depth 2
+"$ASTQL" connect --retry 10 --timeout-ms 2000 "$SOCK" "$WORK/schema.sql" \
+  >/dev/null
+"$ASTQL" connect --timeout-ms 2000 "$SOCK" \
+  -e "INSERT INTO kv VALUES (1, 'g', 1), (2, 'g', 2);" >/dev/null
+
+BURST=12
+pids=()
+for i in $(seq 1 "$BURST"); do
+  "$ASTQL" connect --retry 10 --timeout-ms 3000 --retries 8 "$SOCK" \
+    -e 'SELECT grp, SUM(v) AS sv FROM kv GROUP BY grp;' \
+    >"$WORK/burst_out_$i.txt" 2>"$WORK/burst_err_$i.txt" &
+  pids+=($!)
+done
+probe || { echo "FAIL: probe missed its 2 s bound during the burst"; fails=$((fails + 1)); }
+converged=0
+for i in $(seq 1 "$BURST"); do
+  if wait "${pids[$((i - 1))]}"; then converged=$((converged + 1)); fi
+  if grep -qi 'fatal error\|raised at\|backtrace' \
+      "$WORK/burst_out_$i.txt" "$WORK/burst_err_$i.txt"; then
+    echo "FAIL: burst client $i died with a non-typed failure"
+    fails=$((fails + 1))
+  fi
+done
+if [ "$converged" -ne "$BURST" ]; then
+  echo "FAIL: only $converged/$BURST burst clients converged"
+  fails=$((fails + 1))
+fi
+if ! grep -l 'degraded answer (.*overload' "$WORK"/burst_err_*.txt >/dev/null 2>&1; then
+  echo "FAIL: first overload rung never served a degraded base-plan answer"
+  fails=$((fails + 1))
+fi
+stop_server || { echo "FAIL: shutdown after burst"; fails=$((fails + 1)); }
+
+if [ "$fails" -gt 0 ]; then
+  # keep server logs where CI can pick them up as artifacts
+  mkdir -p _chaos_net_failures
+  cp "$WORK"/server_*.log _chaos_net_failures/ 2>/dev/null || true
+  echo "net chaos: $fails failure(s) over $ITERS iterations (seed $SEED)"
+  exit 1
+fi
+echo "net chaos OK: $ITERS wire-fault iterations + overload burst, all invariants held (seed $SEED)"

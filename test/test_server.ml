@@ -82,16 +82,16 @@ let seed_shared () =
         AS total, COUNT(*) AS n FROM sales GROUP BY region;");
   Sess.share sn
 
-let with_server ?(domains = 2) ?(queue_depth = 4) ?shared f =
+let with_server ?(domains = 2) ?(queue_depth = 4) ?degrade_watermark
+    ?retry_after_ms ?idle_timeout_ms ?io_timeout_ms ?request_deadline_ms
+    ?shared f =
   let shared = match shared with Some s -> s | None -> seed_shared () in
   let srv =
     Server.Listener.start
-      {
-        Server.Listener.cf_addr = Server.Listener.Tcp ("127.0.0.1", 0);
-        cf_domains = domains;
-        cf_queue_depth = queue_depth;
-        cf_backlog = 16;
-      }
+      (Server.Listener.config
+         ~addr:(Server.Listener.Tcp ("127.0.0.1", 0))
+         ~domains ~queue_depth ~backlog:16 ?degrade_watermark ?retry_after_ms
+         ?idle_timeout_ms ?io_timeout_ms ?request_deadline_ms ())
       ~mk_session:(fun () -> Sess.attach shared)
   in
   let addr =
@@ -301,12 +301,9 @@ let test_unix_socket_and_rewrite_opt () =
   let shared = seed_shared () in
   let srv =
     Server.Listener.start
-      {
-        Server.Listener.cf_addr = Server.Listener.Unix_path path;
-        cf_domains = 1;
-        cf_queue_depth = 2;
-        cf_backlog = 8;
-      }
+      (Server.Listener.config
+         ~addr:(Server.Listener.Unix_path path)
+         ~domains:1 ~queue_depth:2 ~backlog:8 ())
       ~mk_session:(fun () -> Sess.attach shared)
   in
   Fun.protect ~finally:(fun () -> Server.Listener.stop srv) (fun () ->
@@ -342,6 +339,357 @@ let test_unix_socket_and_rewrite_opt () =
                 true (without <> with_rw)
           | Error e -> Alcotest.fail (Server.Wire.error_to_string e)));
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* --- adversarial request decoding --------------------------------------- *)
+
+(* Whatever bytes arrive, request decoding must produce a request or a
+   typed bad_request — never an escaped exception. *)
+let test_adversarial_request_decode () =
+  let decode line =
+    match Server.Wire.request_of_line line with
+    | Ok _ -> `Ok
+    | Error e ->
+        Alcotest.(check string)
+          ("bad_request for " ^ String.escaped line)
+          "bad_request" e.Server.Wire.we_code;
+        `Bad
+    | exception exn ->
+        Alcotest.fail
+          (Printf.sprintf "decoder raised %s on %s" (Printexc.to_string exn)
+             (String.escaped line))
+  in
+  let must_reject line =
+    match decode line with
+    | `Bad -> ()
+    | `Ok -> Alcotest.fail ("should reject: " ^ String.escaped line)
+  in
+  (* truncated JSON *)
+  must_reject {|{"id": 1, "sql": "SELECT 1;"|};
+  must_reject {|{"sql": "SELECT|};
+  (* wrong-typed fields *)
+  must_reject {|{"sql": 42}|};
+  must_reject {|{"sql": ["SELECT 1;"]}|};
+  must_reject {|{"sql": "SELECT 1;", "opts": 7}|};
+  must_reject {|{"sql": "SELECT 1;", "opts": {"rewrite": "yes"}}|};
+  must_reject {|{"sql": "SELECT 1;", "opts": {"rewrite": 1}}|};
+  must_reject {|{"sql": "SELECT 1;", "opts": {"deadline_ms": -3}}|};
+  must_reject {|{"sql": "SELECT 1;", "opts": {"deadline_ms": 0}}|};
+  must_reject {|{"sql": "SELECT 1;", "opts": {"deadline_ms": "fast"}}|};
+  (* scalars and arrays where an object belongs *)
+  must_reject "42";
+  must_reject {|["sql", "SELECT 1;"]|};
+  must_reject "null";
+  (* raw NUL byte breaks JSON framing: typed rejection, no crash *)
+  must_reject "{\"sql\": \"SELECT\x00 1;\"}";
+  (* duplicate keys and escaped NUL must not crash the decoder; whether
+     they decode or reject is the JSON layer's choice *)
+  ignore (decode {|{"sql": "SELECT 1;", "sql": 42}|});
+  ignore (decode {|{"sql": "SELECT   1;"}|});
+  (* unknown opts stay ignored (forward compatibility) *)
+  match
+    Server.Wire.request_of_line
+      {|{"sql": "SELECT 1;", "opts": {"future_flag": [1, 2]}}|}
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Wire.error_to_string e)
+
+let raw_tcp_io addr =
+  match addr with
+  | Server.Listener.Tcp (h, p) ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_of_string h, p));
+      Server.Lineio.make s
+  | _ -> Alcotest.fail "tcp expected"
+
+let expect_error_line io code =
+  match Server.Lineio.read_line io with
+  | Some line -> (
+      match Server.Wire.response_of_line line with
+      | Ok (Server.Wire.Failed (_, e)) ->
+          Alcotest.(check string) "error code" code e.Server.Wire.we_code
+      | _ -> Alcotest.fail ("expected typed " ^ code))
+  | None -> Alcotest.fail "no response"
+
+let test_adversarial_requests_live () =
+  with_server (fun addr ->
+      let io = raw_tcp_io addr in
+      Fun.protect ~finally:(fun () -> Server.Lineio.close io) (fun () ->
+          Server.Lineio.write_line io {|{"sql": "SELECT 1;", "opts": {"rewrite": "yes"}}|};
+          expect_error_line io "bad_request";
+          Server.Lineio.write_line io "{\"sql\": \"SELECT\x00 1;\"}";
+          expect_error_line io "bad_request";
+          (* the connection survives every rejection *)
+          Server.Lineio.write_line io
+            {|{"id": 9, "sql": "SELECT COUNT(*) AS n FROM sales;"}|};
+          match Server.Lineio.read_line io with
+          | Some line -> (
+              match Server.Wire.response_of_line line with
+              | Ok (Server.Wire.Reply r) ->
+                  Alcotest.(check int) "id echoed" 9
+                    (match r.Server.Wire.rp_id with J.Int n -> n | _ -> -1)
+              | _ -> Alcotest.fail "valid request after garbage must succeed")
+          | None -> Alcotest.fail "no response"))
+
+(* A 9 MiB frame: one typed bad_request, stream resynchronized, the next
+   request on the same connection served normally. *)
+let test_oversize_frame_resync () =
+  with_server (fun addr ->
+      let io = raw_tcp_io addr in
+      Fun.protect ~finally:(fun () -> Server.Lineio.close io) (fun () ->
+          Server.Lineio.write_line io (String.make (9 * 1024 * 1024) 'x');
+          expect_error_line io "bad_request";
+          Server.Lineio.write_line io
+            {|{"id": 1, "sql": "SELECT COUNT(*) AS n FROM sales;"}|};
+          match Server.Lineio.read_line io with
+          | Some line -> (
+              match Server.Wire.response_of_line line with
+              | Ok (Server.Wire.Reply _) -> ()
+              | _ -> Alcotest.fail "request after oversize frame must succeed")
+          | None -> Alcotest.fail "no response after resync"))
+
+(* --- deadlines and the overload ladder ---------------------------------- *)
+
+let sum_by_region_sql =
+  "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY \
+   region;"
+
+let check_east_west (r : Server.Wire.reply) =
+  match r.Server.Wire.rp_results with
+  | [ t ] -> (
+      match expect_table t with
+      | _, [ [| V.Str "east"; V.Int 30 |]; [| V.Str "west"; V.Int 5 |] ] -> ()
+      | _ -> Alcotest.fail "degraded answer must still be correct")
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_request_deadline_degrades () =
+  (* an (absurd) 0.001 ms deadline trips at the first planning check: the
+     reply degrades to the base plan, annotated, still correct *)
+  with_server ~request_deadline_ms:0.001 (fun addr ->
+      let c = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          match Server.Client.request c sum_by_region_sql with
+          | Ok r ->
+              check_east_west r;
+              Alcotest.(check bool) "deadline annotated" true
+                (List.mem "deadline" r.Server.Wire.rp_degraded)
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+let test_opts_deadline_degrades () =
+  (* same, but the deadline travels in the request itself *)
+  with_server (fun addr ->
+      let c = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          (match Server.Client.request c ~deadline_ms:0.001 sum_by_region_sql with
+          | Ok r ->
+              check_east_west r;
+              Alcotest.(check bool) "deadline annotated" true
+                (List.mem "deadline" r.Server.Wire.rp_degraded)
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+          (* and without it, the same connection serves full quality *)
+          match Server.Client.request c sum_by_region_sql with
+          | Ok r ->
+              Alcotest.(check (list string)) "no annotation" []
+                r.Server.Wire.rp_degraded
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+let test_degrade_watermark_rung () =
+  (* watermark 0 = permanently pressured: base plans, annotated replies *)
+  with_server ~degrade_watermark:0 (fun addr ->
+      let c = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          match Server.Client.request c sum_by_region_sql with
+          | Ok r ->
+              check_east_west r;
+              Alcotest.(check bool) "overload annotated" true
+                (List.mem "overload" r.Server.Wire.rp_degraded)
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+let test_shed_carries_retry_after () =
+  with_server ~domains:1 ~queue_depth:1 ~retry_after_ms:123 (fun addr ->
+      let a = Server.Client.connect_addr addr in
+      (match Server.Client.request a "SELECT COUNT(*) AS n FROM sales;" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Server.Wire.error_to_string e));
+      let b = Server.Client.connect_addr addr in
+      let c = Server.Client.connect_addr addr in
+      (match Server.Client.request c "SELECT COUNT(*) AS n FROM sales;" with
+      | Error e ->
+          Alcotest.(check string) "code" "overloaded" e.Server.Wire.we_code;
+          Alcotest.(check (option int)) "hint" (Some 123)
+            e.Server.Wire.we_retry_after_ms
+      | Ok _ -> Alcotest.fail "expected overloaded"
+      | exception _ -> () (* rejection may close before the request is read *));
+      Server.Client.close c;
+      Server.Client.close b;
+      Server.Client.close a)
+
+(* --- retrying client under wire faults ---------------------------------- *)
+
+let test_sql_idempotent () =
+  Alcotest.(check bool) "select" true
+    (Server.Client.sql_idempotent "SELECT COUNT(*) AS n FROM sales;");
+  Alcotest.(check bool) "explain" true
+    (Server.Client.sql_idempotent
+       "EXPLAIN REWRITE SELECT COUNT(*) AS n FROM sales;");
+  Alcotest.(check bool) "insert" false
+    (Server.Client.sql_idempotent "INSERT INTO sales VALUES ('x', 1);");
+  Alcotest.(check bool) "mixed script" false
+    (Server.Client.sql_idempotent
+       "SELECT COUNT(*) AS n FROM sales; INSERT INTO sales VALUES ('x', 1);");
+  Alcotest.(check bool) "garbage is conservative" false
+    (Server.Client.sql_idempotent "DROP TH3 B4SS;")
+
+let test_client_retries_wire_faults () =
+  with_server (fun addr ->
+      Guard.Fault.disarm_all ();
+      Fun.protect ~finally:Guard.Fault.disarm_all (fun () ->
+          let c = Server.Client.connect_addr ~timeout_ms:2000. addr in
+          Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+              List.iter
+                (fun point ->
+                  Guard.Fault.arm point ~after:1;
+                  match
+                    Server.Client.request_robust c ~attempts:4
+                      sum_by_region_sql
+                  with
+                  | Ok r -> check_east_west r
+                  | Error f ->
+                      Alcotest.fail
+                        (Printf.sprintf "retry across %s failed: %s"
+                           (Guard.Fault.point_name point)
+                           (Server.Client.failure_to_string f)))
+                [
+                  Guard.Fault.Wire_corrupt;
+                  Guard.Fault.Wire_disconnect;
+                  Guard.Fault.Wire_partial_write;
+                ])))
+
+let test_ambiguous_dml_not_retried () =
+  with_server (fun addr ->
+      Guard.Fault.disarm_all ();
+      Fun.protect ~finally:Guard.Fault.disarm_all (fun () ->
+          let c = Server.Client.connect_addr ~timeout_ms:2000. addr in
+          Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+              (* the reply to the INSERT is swallowed after execution: the
+                 ack is ambiguous, and a blind retry would double-insert *)
+              Guard.Fault.arm Guard.Fault.Wire_disconnect ~after:1;
+              (match
+                 Server.Client.request_robust c ~attempts:4
+                   "INSERT INTO sales VALUES ('ambig', 1);"
+               with
+              | Error (Server.Client.Conn_error _) -> ()
+              | Error (Server.Client.Server_error e) ->
+                  Alcotest.fail
+                    ("expected ambiguous conn failure, got "
+                    ^ Server.Wire.error_to_string e)
+              | Ok _ -> Alcotest.fail "swallowed ack must surface as failure");
+              (* the write executed exactly once — which is why the client
+                 must not have retried it *)
+              match
+                Server.Client.request_robust c ~attempts:4
+                  "SELECT COUNT(*) AS n FROM sales WHERE region = 'ambig';"
+              with
+              | Ok r -> (
+                  match r.Server.Wire.rp_results with
+                  | [ t ] -> (
+                      match expect_table t with
+                      | _, [ [| V.Int 1 |] ] -> ()
+                      | _, rows ->
+                          Alcotest.fail
+                            (Printf.sprintf "expected exactly 1 row, got %d"
+                               (List.length rows)))
+                  | _ -> Alcotest.fail "expected one outcome")
+              | Error f ->
+                  Alcotest.fail (Server.Client.failure_to_string f))))
+
+let test_client_timeout_and_stall_retry () =
+  with_server (fun addr ->
+      Guard.Fault.disarm_all ();
+      let saved_stall = !Guard.Fault.wire_stall_ms in
+      Fun.protect
+        ~finally:(fun () ->
+          Guard.Fault.disarm_all ();
+          Guard.Fault.set_wire_stall_ms saved_stall)
+        (fun () ->
+          Guard.Fault.set_wire_stall_ms 500.;
+          let c = Server.Client.connect_addr ~timeout_ms:100. addr in
+          Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+              (* the serving loop stalls past the client's timeout; the
+                 read-only request retries on a fresh connection *)
+              Guard.Fault.arm Guard.Fault.Wire_stall_read ~after:1;
+              match
+                Server.Client.request_robust c ~attempts:4 sum_by_region_sql
+              with
+              | Ok r -> check_east_west r
+              | Error f ->
+                  Alcotest.fail (Server.Client.failure_to_string f))))
+
+(* --- idle/stall reaping and metrics balance ------------------------------ *)
+
+let test_idle_reap_and_mid_frame_stall () =
+  with_server ~idle_timeout_ms:80. ~io_timeout_ms:120. (fun addr ->
+      (* idle peer: reaped quietly after ~80ms *)
+      let idle = raw_tcp_io addr in
+      (match Server.Lineio.read_line idle with
+      | None -> () (* server closed on us: the reap *)
+      | Some l -> Alcotest.fail ("unexpected reply to idle conn: " ^ l)
+      | exception _ -> ());
+      Server.Lineio.close idle;
+      (* mid-frame staller: typed error, then hangup *)
+      let stall = raw_tcp_io addr in
+      Server.Lineio.write_raw stall {|{"sql": "SELECT|};
+      (match Server.Lineio.read_line stall with
+      | Some line -> (
+          match Server.Wire.response_of_line line with
+          | Ok (Server.Wire.Failed (_, e)) ->
+              Alcotest.(check string) "stall code" "bad_request"
+                e.Server.Wire.we_code
+          | _ -> Alcotest.fail "expected typed stall error")
+      | None -> Alcotest.fail "stalled conn reaped without the typed error"
+      | exception _ -> ());
+      Server.Lineio.close stall;
+      (* a well-behaved client on the same server is untouched *)
+      let c = Server.Client.connect_addr addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+          match Server.Client.request c "SELECT COUNT(*) AS n FROM sales;" with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Server.Wire.error_to_string e)))
+
+(* Every error path must put its gauges back: after a server that saw
+   normal traffic, garbage, an oversize frame, a handler crash and forced
+   disconnects has fully stopped, the registry's server gauges read 0. *)
+let test_metrics_balance_after_churn () =
+  Guard.Fault.disarm_all ();
+  with_server ~domains:2 ~queue_depth:4 (fun addr ->
+      (* normal round trip *)
+      let c = Server.Client.connect_addr addr in
+      ignore (Server.Client.request c "SELECT COUNT(*) AS n FROM sales;");
+      Server.Client.close c;
+      (* oversize frame + garbage on one connection *)
+      let io = raw_tcp_io addr in
+      Server.Lineio.write_line io (String.make (9 * 1024 * 1024) 'y');
+      expect_error_line io "bad_request";
+      Server.Lineio.write_line io "not json";
+      expect_error_line io "bad_request";
+      Server.Lineio.close io;
+      (* a handler crash (accept fault) *)
+      Guard.Fault.arm Guard.Fault.Accept ~after:1;
+      let f = Server.Client.connect_addr addr in
+      (match Server.Client.request f "SELECT 1;" with
+      | Ok _ | Error _ -> ()
+      | exception _ -> ());
+      Server.Client.close f;
+      Guard.Fault.disarm_all ();
+      (* a client that vanishes without a word *)
+      let g = raw_tcp_io addr in
+      Server.Lineio.write_raw g {|{"sql"|};
+      Server.Lineio.close g;
+      Unix.sleepf 0.05);
+  (* with_server has stopped the listener: workers joined, conns closed *)
+  Alcotest.(check (float 0.)) "server.active back to 0" 0.
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge "server.active"));
+  Alcotest.(check (float 0.)) "server.queue_depth back to 0" 0.
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge "server.queue_depth"))
 
 (* --- Lineio edge cases -------------------------------------------------- *)
 
@@ -417,6 +765,32 @@ let suite =
       test_accept_fault_is_contained;
     Alcotest.test_case "unix socket + opts.rewrite" `Quick
       test_unix_socket_and_rewrite_opt;
+    Alcotest.test_case "adversarial request decoding" `Quick
+      test_adversarial_request_decode;
+    Alcotest.test_case "adversarial requests over a live socket" `Quick
+      test_adversarial_requests_live;
+    Alcotest.test_case "oversize frame resynchronizes" `Quick
+      test_oversize_frame_resync;
+    Alcotest.test_case "server-default deadline degrades" `Quick
+      test_request_deadline_degrades;
+    Alcotest.test_case "opts.deadline_ms degrades per request" `Quick
+      test_opts_deadline_degrades;
+    Alcotest.test_case "degrade watermark serves base plans" `Quick
+      test_degrade_watermark_rung;
+    Alcotest.test_case "shed reply carries retry_after_ms" `Quick
+      test_shed_carries_retry_after;
+    Alcotest.test_case "sql_idempotent classification" `Quick
+      test_sql_idempotent;
+    Alcotest.test_case "client retries across wire faults" `Quick
+      test_client_retries_wire_faults;
+    Alcotest.test_case "ambiguous DML ack is not retried" `Quick
+      test_ambiguous_dml_not_retried;
+    Alcotest.test_case "client timeout + stalled server retry" `Quick
+      test_client_timeout_and_stall_retry;
+    Alcotest.test_case "idle reap + mid-frame stall" `Quick
+      test_idle_reap_and_mid_frame_stall;
+    Alcotest.test_case "metrics balance after churn" `Quick
+      test_metrics_balance_after_churn;
     Alcotest.test_case "lineio torn line at EOF" `Quick
       test_lineio_torn_line_at_eof;
     Alcotest.test_case "lineio 8 MiB line cap" `Quick test_lineio_line_cap;
