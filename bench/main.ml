@@ -85,7 +85,7 @@ let prepare db (c : Workload.Paper_queries.case) =
     | [] -> None
     | sites ->
         (* replace the highest matched box (fewest remaining operators) *)
-        let { Astmatch.Navigator.site_box; site_result } =
+        let { Astmatch.Navigator.site_box; site_result; _ } =
           List.nth sites (List.length sites - 1)
         in
         Some
@@ -121,6 +121,7 @@ let workload_rows : Json.t list ref = ref []
 let planning_obj : Json.t ref = ref (Json.Obj [])
 let governed_obj : Json.t ref = ref (Json.Obj [])
 let validated_obj : Json.t ref = ref (Json.Obj [])
+let proving_obj : Json.t ref = ref (Json.Obj [])
 
 let () =
   Printf.printf "=== astrw bench: scale %d ===\n%!" scale;
@@ -651,6 +652,7 @@ let () =
       ("off", Mvstore.Session.Off);
       ("sample:0.25", Mvstore.Session.Sampled 0.25);
       ("always", Mvstore.Session.Always);
+      ("static", Mvstore.Session.Static);
     ]
   in
   let vrounds = 10 in
@@ -682,18 +684,165 @@ let () =
         let per_q = t /. float_of_int (vrounds * List.length parsed) in
         Printf.printf
           "verify %-12s %8.3f ms/query  (%d verification run(s), %d \
-           mismatch(es))\n"
+           mismatch(es), %d static skip(s))\n"
           label per_q st.Plancache.Stats.verify_runs
-          st.Plancache.Stats.verify_mismatches;
+          st.Plancache.Stats.verify_mismatches
+          st.Plancache.Stats.verify_static_skips;
         ( label,
           Json.Obj
             [
               ("ms_per_query", Json.Num per_q);
               ("verify_runs", Json.Int st.Plancache.Stats.verify_runs);
               ("verify_mismatches", Json.Int st.Plancache.Stats.verify_mismatches);
+              ("verify_static_skips", Json.Int st.Plancache.Stats.verify_static_skips);
             ] ))
       verify_modes
   in
+  (* The point of verify:Static — whole query classes with certified
+     plans stop paying the double execution. Requires the prover on. *)
+  (if Prove.Level.rewrite_on () then
+     let stat label field =
+       match List.assoc label verify_rows with
+       | Json.Obj fields -> (
+           match List.assoc field fields with Json.Int n -> n | _ -> 0)
+       | _ -> 0
+     in
+     let skips = stat "static" "verify_static_skips"
+     and runs_static = stat "static" "verify_runs"
+     and runs_always = stat "always" "verify_runs" in
+     if skips = 0 || runs_static >= runs_always then begin
+       incr fails;
+       Printf.printf
+         "PERF5 FAILURE: verify:static skipped %d run(s) (static ran %d, \
+          always ran %d) — no query class has a certified plan\n"
+         skips runs_static runs_always
+     end);
+  print_newline ();
+
+  (* ---------------- PERF11: partition certificates ------------------- *)
+  (* The prover as a planner primitive: certify shard pairs as
+     disjoint-and-covering (the enabling check for UNION ALL multi-view
+     rewrites). Pairs over the PERF4 catalog mix true partitions — range
+     splits on a NOT NULL column, discrete <=c-1 / >=c adjacency,
+     computed year() splits — with near-misses (gaps, overlaps). Two
+     gates: every true partition must be Proved (and only those), and
+     every Proved verdict is re-checked against the data — the shard
+     union must bag-equal the unrestricted scan. A certificate
+     contradicted by bag equality is a soundness bug, never noise. *)
+  Printf.printf
+    "=== PERF11: partition certificates (proof rate + prover latency) ===\n";
+  let shard_specs n =
+    List.init n (fun i ->
+        let c = 2 + (i mod 4) in
+        (* qty is 1..5 NOT NULL; cuts 2..5 keep both shards nonempty *)
+        match i mod 5 with
+        | 0 ->
+            ( true,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty < %d" c,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty >= %d" c )
+        | 1 ->
+            (* discrete adjacency: <= c-1 meets >= c with no integer gap *)
+            ( true,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty <= %d" (c - 1),
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty >= %d" c )
+        | 2 ->
+            let y = 1993 + (i mod 3) in
+            ( true,
+              Printf.sprintf
+                "SELECT flid, qty FROM Trans WHERE year(date) < %d" y,
+              Printf.sprintf
+                "SELECT flid, qty FROM Trans WHERE year(date) >= %d" y )
+        | 3 ->
+            (* gap: disjoint but the cut point falls through both sides *)
+            ( false,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty < %d" c,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty > %d" c )
+        | _ ->
+            (* overlap: not even disjoint *)
+            ( false,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty < %d" c,
+              Printf.sprintf "SELECT flid, qty FROM Trans WHERE qty >= %d" (c - 1)
+            ))
+  in
+  let scan_all = Engine.Exec.run pdb (build pcat "SELECT flid, qty FROM Trans") in
+  let prove_pctl lats p =
+    let n = List.length lats in
+    List.nth lats (min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let prove_rows =
+    List.map
+      (fun n ->
+        let lats = ref [] and proved = ref 0 and expected = ref 0 in
+        List.iter
+          (fun (expect, sa, sb) ->
+            if expect then incr expected;
+            let ga = build pcat sa and gb = build pcat sb in
+            let t0 = Unix.gettimeofday () in
+            let cert = Prove.partition ~cat:pcat ga gb in
+            lats := ((Unix.gettimeofday () -. t0) *. 1000.) :: !lats;
+            match cert.Prove.pc_status with
+            | Prove.Proved ->
+                incr proved;
+                if not expect then begin
+                  incr fails;
+                  Printf.printf
+                    "PERF11 FAILURE: non-partition proved: %s | %s\n" sa sb
+                end
+                else begin
+                  let ra = Engine.Exec.run pdb ga
+                  and rb = Engine.Exec.run pdb gb in
+                  let union =
+                    R.create
+                      (Array.to_list (R.columns ra))
+                      (R.rows ra @ R.rows rb)
+                  in
+                  if not (R.bag_equal_approx union scan_all) then begin
+                    incr fails;
+                    Printf.printf
+                      "PERF11 FAILURE: Proved partition contradicted by bag \
+                       equality: %s | %s\n"
+                      sa sb
+                  end
+                end
+            | Prove.Unknown why ->
+                if expect then begin
+                  incr fails;
+                  Printf.printf
+                    "PERF11 FAILURE: partition not proved (%s): %s | %s\n" why
+                    sa sb
+                end)
+          (shard_specs n);
+        let lats = List.sort compare !lats in
+        let rate = float_of_int !proved /. float_of_int n in
+        Printf.printf
+          "pairs %-4d proved %d/%d (expected %d)   rate %.2f   p50 %7.3f ms \
+           p95 %7.3f ms\n"
+          n !proved n !expected rate (prove_pctl lats 0.50)
+          (prove_pctl lats 0.95);
+        Json.Obj
+          [
+            ("pairs", Json.Int n);
+            ("proved", Json.Int !proved);
+            ("expected_proved", Json.Int !expected);
+            ("proof_rate", Json.Num rate);
+            ("p50_ms", Json.Num (prove_pctl lats 0.50));
+            ("p95_ms", Json.Num (prove_pctl lats 0.95));
+          ])
+      [ 32; 64 ]
+  in
+  let prove_counter name =
+    Obs.Metrics.counter_value (Obs.Metrics.counter name)
+  in
+  proving_obj :=
+    Json.Obj
+      [
+        ("level", Json.Str (Prove.Level.to_string (Prove.Level.current ())));
+        ("sizes", Json.List prove_rows);
+        ("attempts", Json.Int (prove_counter "prove.attempts"));
+        ("proved", Json.Int (prove_counter "prove.proved"));
+        ("unknown", Json.Int (prove_counter "prove.unknown"));
+        ("verify_skips", Json.Int (prove_counter "prove.verify_skips"));
+      ];
   print_newline ();
 
   (* ---------------- PERF7: static-validation overhead ---------------- *)
@@ -1074,6 +1223,7 @@ let () =
          ("serving", serving_obj);
          ("durability", durability_obj);
          ("verification", Json.Obj verify_rows);
+         ("proving", !proving_obj);
          (* the live registry, same schema as \metrics json / --metrics-out *)
          ("metrics", Obs.Metrics.to_json ());
        ]);
@@ -1091,7 +1241,11 @@ let () =
   | Some path ->
       Json.to_file path
         (Json.Obj
-           [ ("scale", Json.Int scale); ("workload", Json.List !workload_rows) ]);
+           [
+             ("scale", Json.Int scale);
+             ("workload", Json.List !workload_rows);
+             ("proving", !proving_obj);
+           ]);
       Printf.printf "wrote baseline %s\n%!" path
   | None -> ());
   (match gate_path with
@@ -1151,6 +1305,35 @@ let () =
               Printf.printf "%-24s %13.2f %13.2f %10s\n" name b_exec c_exec
                 (if ok then "ok" else "REGRESSED"))
         rows;
+      (* prover-coverage gate: the partition proved count is a
+         deterministic integer (counting, not timing), so any drop below
+         the recorded baseline is a real capability regression, not
+         runner noise. *)
+      let proved_rows j =
+        match Option.bind j (Json.member "sizes") with
+        | Some (Json.List l) ->
+            List.filter_map
+              (fun row ->
+                match (Json.member "pairs" row, Json.member "proved" row) with
+                | Some (Json.Int n), Some (Json.Int p) -> Some (n, p)
+                | _ -> None)
+              l
+        | _ -> []
+      in
+      let now_proved = proved_rows (Some !proving_obj) in
+      List.iter
+        (fun (n, b_proved) ->
+          match List.assoc_opt n now_proved with
+          | Some c when c >= b_proved -> ()
+          | Some c ->
+              incr gate_fails;
+              Printf.printf
+                "proof count at %d pairs regressed: baseline %d, now %d\n" n
+                b_proved c
+          | None ->
+              incr gate_fails;
+              Printf.printf "proof-count row for %d pairs MISSING\n" n)
+        (proved_rows (Json.member "proving" base));
       if !gate_fails > 0 then begin
         Printf.printf "BENCH GATE FAILURE: %d row(s) regressed\n%!" !gate_fails;
         exit 1

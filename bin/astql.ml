@@ -196,7 +196,9 @@ let lint_stmt session ~file ~stmt_no ~warnings stmt =
     | exception Qgm.Builder.Sem_error m ->
         fail "%s: semantic error: %s" what m
     | g -> (
-        match Lint.Validate.check ~cat:(cat ()) g with
+        (* deep mode adds the V118 prover pass (statically-unsatisfiable
+           predicates) on top of the structural checks *)
+        match Lint.Validate.check ~cat:(cat ()) ~deep:true g with
         | [] -> true
         | vs ->
             List.iter
@@ -427,15 +429,17 @@ let verify_conv =
     match String.lowercase_ascii (String.trim s) with
     | "off" -> Ok Mvstore.Session.Off
     | "always" -> Ok Mvstore.Session.Always
+    | "static" -> Ok Mvstore.Session.Static
     | s when String.length s > 7 && String.sub s 0 7 = "sample:" -> (
         match float_of_string_opt (String.sub s 7 (String.length s - 7)) with
         | Some p when p > 0. && p <= 1. -> Ok (Mvstore.Session.Sampled p)
         | _ -> Error (`Msg "expected sample:P with 0 < P <= 1"))
-    | _ -> Error (`Msg "expected off, always, or sample:P")
+    | _ -> Error (`Msg "expected off, always, static, or sample:P")
   in
   let print fmt = function
     | Mvstore.Session.Off -> Format.pp_print_string fmt "off"
     | Mvstore.Session.Always -> Format.pp_print_string fmt "always"
+    | Mvstore.Session.Static -> Format.pp_print_string fmt "static"
     | Mvstore.Session.Sampled p -> Format.fprintf fmt "sample:%g" p
   in
   Arg.conv (parse, print)
@@ -443,9 +447,10 @@ let verify_conv =
 let verify_arg =
   let doc =
     "Runtime result verification of rewritten queries: $(b,off), \
-     $(b,always), or $(b,sample:P) (verify a deterministic fraction P of \
-     rewritten queries). On mismatch the summary table is quarantined and \
-     the base plan's answer is served."
+     $(b,always), $(b,static) (verify unless the static prover certified \
+     every applied rewrite step — needs ASTQL_PROVE >= 1), or $(b,sample:P) \
+     (verify a deterministic fraction P of rewritten queries). On mismatch \
+     the summary table is quarantined and the base plan's answer is served."
   in
   Arg.(value & opt verify_conv Mvstore.Session.Off & info [ "verify" ] ~doc)
 

@@ -1,4 +1,8 @@
-type site = { site_box : Qgm.Box.box_id; site_result : Mtypes.result }
+type site = {
+  site_box : Qgm.Box.box_id;
+  site_result : Mtypes.result;
+  site_proof : Prove.status;
+}
 
 let nav_runs = Obs.Metrics.counter "navigator.runs"
 let nav_sites = Obs.Metrics.counter "navigator.sites"
@@ -40,7 +44,12 @@ let find_matches ?trace ?budget cat ~query ~ast =
                       (match res with
                       | Mtypes.Exact _ -> "exact"
                       | Mtypes.Comp _ -> "compensated");
-                    Some { site_box = e_id; site_result = res }
+                    let proof =
+                      match Hashtbl.find_opt ctx.Mctx.proofs (e_id, r_root) with
+                      | Some p -> p
+                      | None -> Prove.Unknown "no certificate recorded"
+                    in
+                    Some { site_box = e_id; site_result = res; site_proof = proof }
                 | Some _ ->
                     (* an interior match exists but can't replace the box *)
                     Obs.Trace.reject trace ~kind:"site"

@@ -10,6 +10,9 @@
 type site = {
   site_box : Qgm.Box.box_id;       (** matched query (subsumee) box *)
   site_result : Mtypes.result;     (** compensation against the AST root *)
+  site_proof : Prove.status;
+      (** static certificate: [Proved] when the prover verified the rewrite
+          region equality at match time, [Unknown why] otherwise *)
 }
 
 (** All query boxes that match the AST's root box. When [trace] is given,

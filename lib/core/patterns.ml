@@ -187,6 +187,90 @@ let res_outcome = function
   | Some (M.Comp _) -> Obs.Trace.Accepted "compensated"
   | None -> Obs.Trace.Step
 
+(* ---------------- static certification ---------------- *)
+
+(* Column-type oracle over the translated predicate space: [Rin] references
+   resolve against the summary graph, [Rj] (rejoin) references against the
+   query graph.  Feeds the prover's discrete-bound normalization. *)
+let txref_ty ctx (r_sel : B.select_body) (asg : Mctx.assignment)
+    (c : M.txref) =
+  match c with
+  | M.Rin { B.quant; col } ->
+      Option.map
+        (fun q -> Qgm.Typing.col_type ctx.Mctx.cat ctx.Mctx.ag q.B.q_box col)
+        (List.find_opt (fun q -> q.B.q_id = quant) r_sel.B.sel_quants)
+  | M.Rj { B.quant; col } ->
+      Option.map
+        (fun q -> Qgm.Typing.col_type ctx.Mctx.cat ctx.Mctx.qg q.B.q_box col)
+        (List.find_opt (fun q -> q.B.q_id = quant) asg.Mctx.rejoins)
+
+(* Region-equality certificate for a flat SELECT/SELECT match.  Given all
+   child pairs certified, [summary AND compensation] selects exactly the
+   query's rows over the shared child space iff (1) every summary predicate
+   is entailed by the query side, (2) every compensation predicate is
+   entailed by the query side, and (3) every query-side predicate is
+   entailed by summary + compensation.  Anything short of three [Proved]s
+   leaves the match usable but uncertified (runtime verification applies). *)
+let certify_select_flat ctx asg ~equiv ~r_outs ~r_preds_canon ~strong_canon
+    ~comp_preds (r_sel : B.select_body) =
+  if not (Prove.Level.rewrite_on ()) then
+    Prove.Unknown "prover off (ASTQL_PROVE=0)"
+  else if Govern.Budget.deadline_spent ctx.Mctx.budget then
+    Prove.Unknown "planning deadline spent"
+  else
+    let child =
+      List.fold_left
+        (fun acc (qe, qr, _) ->
+          Prove.both acc
+            (match
+               Hashtbl.find_opt ctx.Mctx.proofs (qe.B.q_box, qr.B.q_box)
+             with
+            | Some p -> p
+            | None -> Prove.Unknown "child pair not certified"))
+        Prove.Proved asg.Mctx.pairs
+    in
+    match child with
+    | Prove.Unknown _ -> child
+    | Prove.Proved ->
+        (* compensation predicates live over the summary's outputs (Below)
+           and rejoin columns; map them back into the shared txref space to
+           compare regions *)
+        let back p =
+          E.subst_col
+            (function
+              | M.Below n ->
+                  Option.map snd
+                    (List.find_opt (fun (m, _) -> norm m = norm n) r_outs)
+              | M.Rejoin r -> Some (E.Col (M.Rj r)))
+            p
+        in
+        let comp_tx = List.map back comp_preds in
+        if List.exists Option.is_none comp_tx then
+          Prove.Unknown
+            "a compensation predicate does not map back to summary inputs"
+        else
+          let comp_canon =
+            List.map (fun p -> canon_tx equiv (Option.get p)) comp_tx
+          in
+          let ty = Prove.key_ty ~col:(txref_ty ctx r_sel asg) in
+          Prove.all_proved
+            [
+              Prove.subsumed ~ty ~weak:r_preds_canon ~strong:strong_canon;
+              Prove.subsumed ~ty ~weak:comp_canon ~strong:strong_canon;
+              Prove.subsumed ~ty ~weak:strong_canon
+                ~strong:(r_preds_canon @ comp_canon);
+            ]
+
+(* Deposit a pattern's certificate for [match_boxes] to ledger, tracing the
+   typed reason when the proof came back [Unknown]. *)
+let set_proof ctx proof =
+  (match proof with
+  | Prove.Proved -> ()
+  | Prove.Unknown w ->
+      Obs.Trace.event ctx.Mctx.trace ~kind:"prove"
+        ~label:(Obs.Trace.describe (Obs.Trace.Prove_unknown w)));
+  ctx.Mctx.pending_proof <- Some proof
+
 (* Span around one box-pair judgment; a rejection leaf inside names the
    violated condition, this span names the pair and its shapes. *)
 let pair_span ctx e_id r_id shapes f =
@@ -216,8 +300,11 @@ let rec match_boxes (ctx : Mctx.t) e_id r_id =
       let res =
         match (e_box.B.body, r_box.B.body) with
         | B.Base { bt_table = t1; _ }, B.Base { bt_table = t2; bt_cols } ->
-            if norm t1 = norm t2 then
+            if norm t1 = norm t2 then begin
+              (* same base relation verbatim: trivially certified *)
+              ctx.Mctx.pending_proof <- Some Prove.Proved;
               Some (M.Exact (List.map (fun c -> (c, c)) bt_cols))
+            end
             else None
         | B.Select e_sel, B.Select r_sel ->
             pair_span ctx e_id r_id "SELECT/SELECT" (fun () ->
@@ -233,7 +320,19 @@ let rec match_boxes (ctx : Mctx.t) e_id r_id =
                 match_group_vs_distinct ctx e_grp r_sel)
         | _ -> None
       in
-      if res <> None then Obs.Metrics.incr m_accepts;
+      (* Move the pattern's certificate (if any) into the proof ledger;
+         every frame clears [pending_proof] so an outer pattern can never
+         read a stale inner certificate. *)
+      let proof =
+        match ctx.Mctx.pending_proof with
+        | Some p -> p
+        | None -> Prove.Unknown "match pattern not certified"
+      in
+      ctx.Mctx.pending_proof <- None;
+      if res <> None then begin
+        Obs.Metrics.incr m_accepts;
+        Hashtbl.replace ctx.Mctx.proofs (e_id, r_id) proof
+      end;
       Hashtbl.replace ctx.Mctx.memo (e_id, r_id) res;
       res
 
@@ -393,7 +492,18 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
     in
     let strong_canon = List.map (canon_tx equiv) (e_preds_t @ cc_preds) in
     (* condition 2: every remaining subsumer predicate matches or subsumes a
-       subsumee / child-compensation predicate *)
+       subsumee / child-compensation predicate.  With the prover on, a
+       conjunction-level entailment pass additionally catches bounds split
+       across conjuncts (a BETWEEN conjunct vs two comparisons). *)
+    let tyo = txref_ty ctx r_sel asg in
+    let pstate =
+      if
+        !Config.predicate_subsumption
+        && Prove.Level.rewrite_on ()
+        && not (Govern.Budget.deadline_spent ctx.Mctx.budget)
+      then Some (Prove.state_of ~ty:(Prove.key_ty ~col:tyo) strong_canon)
+      else None
+    in
     let cond2 =
       List.for_all
         (fun pr ->
@@ -401,8 +511,12 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
             (fun pe ->
                pr = pe
                || (!Config.predicate_subsumption
-                  && Subsume.subsumes ~weak:pr ~strong:pe))
-            strong_canon)
+                  && Subsume.subsumes ~ty:tyo ~weak:pr ~strong:pe))
+            strong_canon
+          ||
+          match pstate with
+          | Some st -> Prove.entails ~ty:(Prove.key_ty ~col:tyo) st pr
+          | None -> false)
         r_preds_canon
     in
     if not cond2 then begin
@@ -442,7 +556,10 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
           Mctx.reject ctx Obs.Trace.Output_not_derivable;
           None
         end
-        else
+        else begin
+          set_proof ctx
+            (certify_select_flat ctx asg ~equiv ~r_outs ~r_preds_canon
+               ~strong_canon ~comp_preds:!comp_preds r_sel);
           let rejoins =
             List.map (fun q -> { M.rc_quant = q }) asg.Mctx.rejoins
             @ List.concat_map
@@ -477,6 +594,7 @@ and select_select_flat ctx asg (e_sel : B.select_body) (r_sel : B.select_body)
                        ls_outs = outs;
                      };
                  ])
+        end
       end
     end
 
@@ -530,7 +648,8 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
                 (fun pe ->
                pr = pe
                || (!Config.predicate_subsumption
-                  && Subsume.subsumes ~weak:pr ~strong:pe))
+                  && Subsume.subsumes ~ty:(txref_ty ctx r_sel asg) ~weak:pr
+                       ~strong:pe))
                 strong_canon)
             r_preds_canon
         in
@@ -650,7 +769,7 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
                     List.exists (fun p -> p = None) top_preds
                     || List.exists (fun (_, o) -> o = None) top_outs
                   then None
-                  else
+                  else begin
                     let top =
                       M.L_select
                         {
@@ -663,7 +782,11 @@ and select_select_grouped ctx asg (e_sel : B.select_body)
                             List.map (fun (n, o) -> (n, Option.get o)) top_outs;
                         }
                     in
-                    Some (M.Comp ((level0' :: rest) @ [ top ]))))
+                    set_proof ctx
+                      (Prove.Unknown
+                         "4.2.4 grouping pull-up rewrite not certified");
+                    Some (M.Comp ((level0' :: rest) @ [ top ]))
+                  end))
   | _ -> None
 
 (* ---------------- GROUP BY / GROUP BY ---------------- *)
@@ -725,16 +848,51 @@ and match_group_group ctx (e_grp : B.group_body) (r_grp : B.group_body) =
           Mctx.reject ctx Obs.Trace.Agg_not_preserved;
           None
         end
-        else
-          match_group_spec ctx
-            ~keys:(List.map (fun (k, t) -> (k, Option.get t)) keys)
-            ~sets:(B.grouping_sets e_grp.B.grp_grouping)
-            ~simple:
-              (match e_grp.B.grp_grouping with
-              | B.Simple _ -> true
-              | B.Gsets _ -> false)
-            ~aggs:(List.filter_map (fun a -> a) aggs)
-            ~pulled_preds ~rejoins ~r_grp
+        else begin
+          let res =
+            match_group_spec ctx
+              ~keys:(List.map (fun (k, t) -> (k, Option.get t)) keys)
+              ~sets:(B.grouping_sets e_grp.B.grp_grouping)
+              ~simple:
+                (match e_grp.B.grp_grouping with
+                | B.Simple _ -> true
+                | B.Gsets _ -> false)
+              ~aggs:(List.filter_map (fun a -> a) aggs)
+              ~pulled_preds ~rejoins ~r_grp
+          in
+          (* Regrouping is exact whenever the child regions are provably
+             equal and both groupings are plain (a cube slice synthesizes
+             IS NULL predicates the certificate does not cover), so the
+             child pair's certificate transfers to this pair. *)
+          (match res with
+          | None -> ()
+          | Some _ ->
+              set_proof ctx
+                (if not (Prove.Level.rewrite_on ()) then
+                   Prove.Unknown "prover off (ASTQL_PROVE=0)"
+                 else
+                   let both_simple =
+                     (match e_grp.B.grp_grouping with
+                     | B.Simple _ -> true
+                     | B.Gsets _ -> false)
+                     &&
+                     match r_grp.B.grp_grouping with
+                     | B.Simple _ -> true
+                     | B.Gsets _ -> false
+                   in
+                   if not both_simple then
+                     Prove.Unknown
+                       "grouping-sets (cube) rewrite not certified"
+                   else
+                     match
+                       Hashtbl.find_opt ctx.Mctx.proofs
+                         ( e_grp.B.grp_quant.B.q_box,
+                           r_grp.B.grp_quant.B.q_box )
+                     with
+                     | Some p -> p
+                     | None -> Prove.Unknown "child pair not certified"));
+          res
+        end
       end
       else match_group_nested ctx ~levels ~e_grp ~r_grp
 
@@ -817,6 +975,8 @@ and match_group_nested ctx ~levels ~(e_grp : B.group_body)
                       e_grp.B.grp_aggs;
                 }
             in
+            set_proof ctx
+              (Prove.Unknown "4.2.2 nested regroup not certified");
             Some (M.Comp (inter_levels @ above @ [ final_group ])))
 
 (* The engine room for 4.1.2 / 4.2.1 / 5.1 / 5.2. The subsumee grouping
@@ -1356,7 +1516,12 @@ and match_distinct_vs_group ctx (e_sel : B.select_body) (r_grp : B.group_body)
                       (E.cols p))
                   preds
               in
-              if covering && preds_ok then
+              if covering && preds_ok then begin
+                (* Override whatever the inner select-level match deposited:
+                   the DISTINCT/GROUP BY duplicate-collapse step is not
+                   modelled by the prover's region certificates. *)
+                set_proof ctx
+                  (Prove.Unknown "DISTINCT cross-match not certified");
                 Some
                   (M.Comp
                      [
@@ -1370,6 +1535,7 @@ and match_distinct_vs_group ctx (e_sel : B.select_body) (r_grp : B.group_body)
                                cols;
                          };
                      ])
+              end
               else begin
                 Mctx.reject ctx
                   (Obs.Trace.Distinct_incompatible
@@ -1439,7 +1605,9 @@ and match_group_vs_distinct ctx (e_grp : B.group_body) (r_sel : B.select_body)
                           duplicates)");
                     None
                   end
-                  else
+                  else begin
+                    set_proof ctx
+                      (Prove.Unknown "DISTINCT cross-match not certified");
                     Some
                       (M.Comp
                          [
@@ -1453,5 +1621,6 @@ and match_group_vs_distinct ctx (e_grp : B.group_body) (r_sel : B.select_body)
                                    mapped;
                              };
                          ])
+                  end
             | _ -> None)
         | _ -> None)

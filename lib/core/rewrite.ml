@@ -4,7 +4,16 @@ module G = Qgm.Graph
 module M = Mtypes
 
 type mv = { mv_name : string; mv_graph : G.t; mv_version : int }
-type step = { used_mv : string; target : B.box_id; exact : bool }
+type step = {
+  used_mv : string;
+  target : B.box_id;
+  exact : bool;
+  proved : Prove.status;
+}
+
+(* A plan is statically certified only when every applied step is. *)
+let steps_proof steps =
+  Prove.all_proved (List.map (fun s -> s.proved) steps)
 
 
 (* Build one SELECT body from an L_select level sitting on [below]. *)
@@ -259,7 +268,7 @@ let rewrite_candidates ?on_error ?trace ?budget cat g mvs =
                   ~ast:mv.mv_graph
               in
               List.map
-                (fun { Navigator.site_box; site_result } ->
+                (fun { Navigator.site_box; site_result; site_proof } ->
                   Govern.Budget.tick_candidate budget;
                   let mv_cols =
                     B.output_cols (G.box mv.mv_graph (G.root mv.mv_graph))
@@ -280,6 +289,7 @@ let rewrite_candidates ?on_error ?trace ?budget cat g mvs =
                         (match site_result with
                         | M.Exact _ -> true
                         | M.Comp _ -> false);
+                      proved = site_proof;
                     } ))
                 sites)))
     mvs

@@ -19,7 +19,12 @@ type step = {
   used_mv : string;
   target : Qgm.Box.box_id;
   exact : bool;              (** empty compensation *)
+  proved : Prove.status;     (** static certificate from the match *)
 }
+
+(** Combined certificate of an applied plan: [Proved] iff every step is;
+    otherwise the first step's reason. *)
+val steps_proof : step list -> Prove.status
 
 (** [apply ~query ~target ~result ~mv_table ~mv_cols] builds the rewritten
     graph for one match. [mv_cols] are the stored table's columns (the AST

@@ -87,6 +87,13 @@ let check_deadline = function
       | None -> ()
       | Some d -> if now_ms () -. b.b_start_ms > d then exhaust b Deadline)
 
+let deadline_spent = function
+  | None -> false
+  | Some b -> (
+      match b.b_limits.bl_deadline_ms with
+      | None -> false
+      | Some d -> now_ms () -. b.b_start_ms > d)
+
 let over limit count = match limit with Some l -> count > l | None -> false
 
 let tick_match bo =

@@ -65,6 +65,11 @@ val exhausted : t -> reason option
 
 val check_deadline : t option -> unit
 
+val deadline_spent : t option -> bool
+(** Non-raising probe for optional work (e.g. static proving): [true] when
+    the wall-clock deadline has already passed, so the caller should skip
+    the work instead of failing the statement.  Never records exhaustion. *)
+
 val tick_match : t option -> unit
 (** One [Patterns.match_boxes] invocation; also checks the deadline. *)
 

@@ -34,6 +34,14 @@
      V115 a predicate whose type is definitely non-boolean
      V116 root box produces no output columns
      V117 SELECT box with no quantifiers (nothing to range over)
+     V118 statically-unsatisfiable predicate conjunction (deep mode only:
+          the static prover certified the SELECT box can never produce a
+          row — e.g. [x > 10 AND x < 5] — almost certainly a typo in the
+          definition)
+
+   [check ~deep:true] additionally runs the V118 prover pass (used by
+   [astql lint]; the plan-time candidate validation stays shallow — an
+   unsatisfiable predicate is legal IR, just useless).
 
    [check] walks only the boxes reachable from the root: the rewriter
    legitimately leaves disconnected subtrees behind when a compensation
@@ -63,7 +71,7 @@ let summary = function
 
 let norm = String.lowercase_ascii
 
-let check ?cat g =
+let check ?cat ?(deep = false) g =
   Obs.Metrics.incr m_runs;
   let problems = ref [] in
   let push ?box code fmt =
@@ -190,7 +198,32 @@ let check ?cat g =
                   if E.contains_agg p then
                     push ~box:id "V107" "aggregate in SELECT box predicate";
                   check_pred_type id s.B.sel_quants p)
-                s.B.sel_preds
+                s.B.sel_preds;
+              if deep && Prove.Level.rewrite_on () && s.B.sel_preds <> []
+              then begin
+                let col_ty { B.quant; col } =
+                  match cat with
+                  | None -> None
+                  | Some cat -> (
+                      match
+                        List.find_opt
+                          (fun q -> q.B.q_id = quant)
+                          s.B.sel_quants
+                      with
+                      | Some q -> (
+                          try Some (Qgm.Typing.col_type cat g q.B.q_box col)
+                          with Invalid_argument _ -> None)
+                      | None -> None)
+                in
+                match
+                  Prove.unsat ~ty:(Prove.key_ty ~col:col_ty) s.B.sel_preds
+                with
+                | Prove.Proved ->
+                    push ~box:id "V118"
+                      "predicate conjunction is statically unsatisfiable \
+                       (this box can never produce a row)"
+                | Prove.Unknown _ -> ()
+              end
           | B.Union u ->
               check_unique id u.B.un_cols;
               List.iter

@@ -7,7 +7,7 @@ exception Session_error of string
 let err fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
 let norm = String.lowercase_ascii
 
-type verify = Off | Sampled of float | Always
+type verify = Off | Sampled of float | Always | Static
 
 (* What the durability layer logs for one committed write statement. SQL
    statements re-execute verbatim at replay; COPY FROM logs the loaded rows
@@ -188,7 +188,7 @@ let health t =
      rewrite errors:   %d\n\
      quarantined:      %d pair(s) added, %d held now\n\
      quarantine skips: %d\n\
-     verification:     %d run(s), %d mismatch(es)\n\
+     verification:     %d run(s), %d mismatch(es), %d static skip(s)\n\
      budget:           %s (%d degraded plan(s))\n\
      %s"
     st.Plancache.Stats.fallbacks st.Plancache.Stats.rw_errors
@@ -196,6 +196,7 @@ let health t =
     (Plancache.Planner.quarantine_length t.splanner)
     st.Plancache.Stats.quarantine_skips st.Plancache.Stats.verify_runs
     st.Plancache.Stats.verify_mismatches
+    st.Plancache.Stats.verify_static_skips
     (Govern.Budget.describe t.slimits)
     st.Plancache.Stats.degraded
     (Maint.describe t.smaint)
@@ -497,10 +498,13 @@ let drain_maintenance t =
 (* Deterministic sampling: verify whenever the accumulated rate crosses an
    integer boundary, so [Sampled 0.25] verifies exactly every 4th rewritten
    query — reproducible, no RNG state. *)
+let m_static_skips = Obs.Metrics.counter "prove.verify_skips"
+
 let should_verify t =
   match t.sverify with
   | Off -> false
   | Always -> true
+  | Static -> true (* the proved-plan skip is decided at the call site *)
   | Sampled p ->
       let p = Float.min 1.0 (Float.max 0.0 p) in
       t.sverify_acc <- t.sverify_acc +. p;
@@ -576,7 +580,20 @@ let run_query_routed ?budget t g =
             if Guard.Fault.fire Guard.Fault.Corrupt then corrupt_relation rel
             else rel
           in
-          if not (should_verify t) then (rel, steps)
+          let static_skip =
+            t.sverify = Static
+            && Prove.is_proved (Astmatch.Rewrite.steps_proof steps)
+          in
+          if static_skip then begin
+            (* every applied step carries a static certificate: the rewrite
+               is equivalent by construction, so the runtime re-execution
+               would only confirm what is already proved *)
+            st.Plancache.Stats.verify_static_skips <-
+              st.Plancache.Stats.verify_static_skips + 1;
+            Obs.Metrics.incr m_static_skips;
+            (rel, steps)
+          end
+          else if not (should_verify t) then (rel, steps)
           else begin
             st.Plancache.Stats.verify_runs <-
               st.Plancache.Stats.verify_runs + 1;
@@ -708,10 +725,15 @@ let explain_in_snapshot ?(verbose = false) t q =
   | steps ->
       List.iter
         (fun (s : Astmatch.Rewrite.step) ->
-          addf "rewrite: box %d answered from %s (%s match)\n" s.target
+          addf "rewrite: box %d answered from %s (%s match%s)\n" s.target
             s.used_mv
-            (if s.exact then "exact" else "compensated"))
+            (if s.exact then "exact" else "compensated")
+            (if Prove.is_proved s.proved then ", proved" else ""))
         steps;
+      addf "proved: %s\n"
+        (match Astmatch.Rewrite.steps_proof steps with
+        | Prove.Proved -> "yes — static certificate on every step"
+        | Prove.Unknown why -> "no — " ^ why);
       addf "rewritten cost estimate: %.0f\n"
         (Astmatch.Cost.graph_cost cat r.pr_graph);
       addf "rewritten SQL: %s\n" (Qgm.Unparse.to_sql r.pr_graph);

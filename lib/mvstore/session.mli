@@ -16,8 +16,14 @@ exception Session_error of string
     no RNG: [Sampled 0.25] verifies exactly every 4th). A verified query
     executes the base plan too and bag-compares; on mismatch the summary
     tables used are quarantined and the base answer is served — graceful
-    degradation, never a wrong result. *)
-type verify = Off | Sampled of float | Always
+    degradation, never a wrong result.
+
+    [Static] verifies like [Always] {e except} when the static prover
+    certified every applied rewrite step at match time ([Proved]): those
+    queries skip the runtime re-execution entirely (counted in
+    [verify_static_skips] and the [prove.verify_skips] metric). Requires
+    [ASTQL_PROVE] ≥ 1 to ever skip. *)
+type verify = Off | Sampled of float | Always | Static
 
 (** [create ()] starts with an empty catalog. [?rewrite] (default true)
     controls transparent AST routing for SELECTs; [?plan_capacity] bounds

@@ -30,6 +30,7 @@ type reason =
   | Contained_error of string
   | Ir_invalid of string
   | Unsupported of string
+  | Prove_unknown of string
 
 let reason_code = function
   | Child_mismatch -> "child-mismatch"
@@ -50,6 +51,7 @@ let reason_code = function
   | Contained_error _ -> "contained-error"
   | Ir_invalid _ -> "invalid-ir"
   | Unsupported _ -> "unsupported-shape"
+  | Prove_unknown _ -> "proof-unknown"
 
 let describe = function
   | Child_mismatch -> "no pairing of query children with summary children matches"
@@ -88,6 +90,8 @@ let describe = function
   | Ir_invalid v ->
       Printf.sprintf "static IR validation failed: %s" v
   | Unsupported d -> d
+  | Prove_unknown w ->
+      Printf.sprintf "static proof unavailable: %s" w
 
 (* ---------------- spans ---------------- *)
 

@@ -30,6 +30,7 @@ type reason =
   | Contained_error of string   (** sandboxed exception (lib/guard) *)
   | Ir_invalid of string        (** static IR validation failed (lib/lint) *)
   | Unsupported of string       (** a shape the matcher deliberately rejects *)
+  | Prove_unknown of string     (** static prover could not certify a rewrite *)
 
 (** Stable kebab-case identifier, e.g. ["predicate-not-derivable"]. *)
 val reason_code : reason -> string

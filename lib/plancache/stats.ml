@@ -12,6 +12,7 @@ type t = {
   mutable quarantine_skips : int;
   mutable verify_runs : int;
   mutable verify_mismatches : int;
+  mutable verify_static_skips : int;
   mutable degraded : int;
 }
 
@@ -30,6 +31,7 @@ let create () =
     quarantine_skips = 0;
     verify_runs = 0;
     verify_mismatches = 0;
+    verify_static_skips = 0;
     degraded = 0;
   }
 
@@ -47,6 +49,7 @@ let reset t =
   t.quarantine_skips <- 0;
   t.verify_runs <- 0;
   t.verify_mismatches <- 0;
+  t.verify_static_skips <- 0;
   t.degraded <- 0
 
 let copy t = { t with hits = t.hits }
@@ -57,10 +60,10 @@ let pp fmt t =
      candidates: %d attempted, %d filtered@\n\
      guard: %d rewrite error(s), %d fallback(s), %d quarantined, %d \
      quarantine skip(s)@\n\
-     verify: %d run(s), %d mismatch(es)@\n\
+     verify: %d run(s), %d mismatch(es), %d static skip(s)@\n\
      govern: %d degraded plan(s)"
     t.hits t.misses t.invalidated t.evicted t.attempted t.filtered t.rw_errors
     t.fallbacks t.quarantined t.quarantine_skips t.verify_runs
-    t.verify_mismatches t.degraded
+    t.verify_mismatches t.verify_static_skips t.degraded
 
 let to_string t = Format.asprintf "%a" pp t

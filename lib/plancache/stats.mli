@@ -16,7 +16,9 @@
     (query-fingerprint x summary-table) pairs newly quarantined;
     [quarantine_skips] counts candidates skipped on later plannings because
     they were quarantined. [verify_runs]/[verify_mismatches] count runtime
-    result verifications and the mismatches they caught.
+    result verifications and the mismatches they caught;
+    [verify_static_skips] counts verifications skipped because the static
+    prover certified every applied rewrite step ([verify:Static]).
 
     [degraded] counts plannings truncated by a resource budget (deadline
     or work cap): the decision served was best-so-far, was {e not} cached,
@@ -36,6 +38,7 @@ type t = {
   mutable quarantine_skips : int;
   mutable verify_runs : int;
   mutable verify_mismatches : int;
+  mutable verify_static_skips : int;
   mutable degraded : int;
 }
 

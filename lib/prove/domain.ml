@@ -1,0 +1,370 @@
+(* The per-column abstract domain: null-aware intervals and finite sets.
+
+   An abstract value [t] over-approximates the set of SQL values a column
+   (or scalar expression) can take in rows satisfying a conjunction:
+
+     gamma {a_null; a_shape} = (if a_null then {NULL} else {}) u gamma(shape)
+
+   Shapes are either an interval with open/closed endpoints and a finite
+   exclusion list ([Range]) or a finite set of non-NULL values ([Enum]).
+   NULL never appears inside a shape — nullability is tracked only by
+   [a_null], matching SQL three-valued logic where a comparison with NULL
+   is never TRUE.
+
+   Soundness contract: every operation may only grow the concretization
+   relative to the exact answer (over-approximation); the predicates
+   ([is_empty], [disjoint], [entails_*], [covers_all]) may only answer
+   affirmatively when the property holds for every value of gamma.
+   Anything uncertain must answer negatively and the caller degrades to
+   [Unknown].
+
+   Discreteness: for INT and DATE typed columns an open bound is
+   normalized at construction to the closed bound on the adjacent point
+   ([x > 9] becomes [x >= 10]), which is what makes integer strict vs
+   non-strict bounds compare equal.  The DATE "calendar" here is the full
+   encoded grid admitted by {!Data.Value.date} — day 1..31 for every
+   month, month 1..12 — because values order by that encoding, so the
+   grid successor is the correct discrete successor. *)
+
+module V = Data.Value
+
+type kind = Open | Closed
+
+type bound = Neg_inf | Pos_inf | B of V.t * kind
+
+type shape =
+  | Range of { lo : bound; hi : bound; excl : V.t list }
+  | Enum of V.t list
+
+type t = { a_null : bool; a_shape : shape }
+
+(* ---------------- discrete successors ---------------- *)
+
+let date_succ e =
+  let d = e mod 100 and m = e / 100 mod 100 and y = e / 10000 in
+  if d < 31 then e + 1
+  else if m < 12 then (((y * 100) + m + 1) * 100) + 1
+  else ((((y + 1) * 100) + 1) * 100) + 1
+
+let date_pred e =
+  let d = e mod 100 and m = e / 100 mod 100 and y = e / 10000 in
+  if d > 1 then e - 1
+  else if m > 1 then (((y * 100) + m - 1) * 100) + 31
+  else ((((y - 1) * 100) + 12) * 100) + 31
+
+(* Successor on a discrete typed domain; [None] when the domain is dense
+   (FLOAT, strings), the type is unknown, or the literal's runtime
+   representation does not match the declared type (e.g. a FLOAT literal
+   compared against an INT column) — all of which must stay unnormalized
+   to remain sound. *)
+let succ_value ty v =
+  match (ty, v) with
+  | Some V.Tint, V.Int i when i < max_int -> Some (V.Int (i + 1))
+  | Some V.Tdate, V.Date e -> Some (V.Date (date_succ e))
+  | _ -> None
+
+let pred_value ty v =
+  match (ty, v) with
+  | Some V.Tint, V.Int i when i > min_int -> Some (V.Int (i - 1))
+  | Some V.Tdate, V.Date e -> Some (V.Date (date_pred e))
+  | _ -> None
+
+let norm_lo ty = function
+  | B (v, Open) as b -> (
+      match succ_value ty v with Some v' -> B (v', Closed) | None -> b)
+  | b -> b
+
+let norm_hi ty = function
+  | B (v, Open) as b -> (
+      match pred_value ty v with Some v' -> B (v', Closed) | None -> b)
+  | b -> b
+
+(* ---------------- membership ---------------- *)
+
+let veq a b = V.compare a b = 0
+let vmem v vs = List.exists (veq v) vs
+
+let lo_admits lo v =
+  match lo with
+  | Neg_inf -> true
+  | Pos_inf -> false
+  | B (x, Closed) -> V.compare x v <= 0
+  | B (x, Open) -> V.compare x v < 0
+
+let hi_admits hi v =
+  match hi with
+  | Pos_inf -> true
+  | Neg_inf -> false
+  | B (x, Closed) -> V.compare v x <= 0
+  | B (x, Open) -> V.compare v x < 0
+
+let shape_mem s v =
+  match s with
+  | Enum vs -> vmem v vs
+  | Range { lo; hi; excl } -> lo_admits lo v && hi_admits hi v && not (vmem v excl)
+
+(* ---------------- bound ordering ---------------- *)
+
+let tighter_lo a b =
+  match (a, b) with
+  | Neg_inf, b -> b
+  | a, Neg_inf -> a
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | B (x, kx), B (y, _) ->
+      let c = V.compare x y in
+      if c > 0 then a else if c < 0 then b else if kx = Open then a else b
+
+let tighter_hi a b =
+  match (a, b) with
+  | Pos_inf, b -> b
+  | a, Pos_inf -> a
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | B (x, kx), B (y, _) ->
+      let c = V.compare x y in
+      if c < 0 then a else if c > 0 then b else if kx = Open then a else b
+
+let looser_lo a b =
+  match (a, b) with
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, b -> b
+  | a, Pos_inf -> a
+  | B (x, kx), B (y, _) ->
+      let c = V.compare x y in
+      if c < 0 then a else if c > 0 then b else if kx = Closed then a else b
+
+let looser_hi a b =
+  match (a, b) with
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Neg_inf, b -> b
+  | a, Neg_inf -> a
+  | B (x, kx), B (y, _) ->
+      let c = V.compare x y in
+      if c > 0 then a else if c < 0 then b else if kx = Closed then a else b
+
+(* Provable emptiness of the interval [lo, hi].  For dense or untyped
+   domains an open-open interval with lo < hi counts as inhabited (the
+   sound direction: we may only claim empty when certain). *)
+let range_empty lo hi =
+  match (lo, hi) with
+  | Pos_inf, _ | _, Neg_inf -> true
+  | Neg_inf, _ | _, Pos_inf -> false
+  | B (x, kx), B (y, ky) ->
+      let c = V.compare x y in
+      c > 0 || (c = 0 && not (kx = Closed && ky = Closed))
+
+(* Canonical form: empty shapes become [Enum []], closed singletons become
+   one-element enums (so equality entailment sees through them), and
+   exclusions are sorted, deduplicated and clipped to the interval.  Every
+   construction site normalizes, so the predicates below may assume it. *)
+let normalize_shape s =
+  match s with
+  | Enum vs -> Enum (List.sort_uniq V.compare vs)
+  | Range { lo; hi; excl } -> (
+      if range_empty lo hi then Enum []
+      else
+        match (lo, hi) with
+        | B (x, Closed), B (y, Closed) when veq x y ->
+            if vmem x excl then Enum [] else Enum [ x ]
+        | _ ->
+            let excl =
+              List.sort_uniq V.compare
+                (List.filter (fun v -> lo_admits lo v && hi_admits hi v) excl)
+            in
+            Range { lo; hi; excl })
+
+let shape_empty = function
+  | Enum [] -> true
+  | Enum _ -> false
+  | Range { lo; hi; _ } -> range_empty lo hi
+
+(* ---------------- constructors ---------------- *)
+
+let full = Range { lo = Neg_inf; hi = Pos_inf; excl = [] }
+let top = { a_null = true; a_shape = full }
+let null_only = { a_null = true; a_shape = Enum [] }
+let not_null = { a_null = false; a_shape = full }
+
+let of_range ?ty ?(null = false) lo hi =
+  { a_null = null;
+    a_shape = normalize_shape (Range { lo = norm_lo ty lo; hi = norm_hi ty hi; excl = [] })
+  }
+
+let of_enum ?(null = false) vs =
+  { a_null = null; a_shape = normalize_shape (Enum vs) }
+
+let excluding v =
+  { a_null = false;
+    a_shape = Range { lo = Neg_inf; hi = Pos_inf; excl = [ v ] } }
+
+(* ---------------- lattice operations ---------------- *)
+
+let is_empty a = (not a.a_null) && shape_empty a.a_shape
+
+let meet a b =
+  let shape =
+    match (a.a_shape, b.a_shape) with
+    | Enum xs, Enum ys -> Enum (List.filter (fun v -> vmem v ys) xs)
+    | Enum xs, (Range _ as r) | (Range _ as r), Enum xs ->
+        Enum (List.filter (shape_mem r) xs)
+    | Range ra, Range rb ->
+        Range
+          { lo = tighter_lo ra.lo rb.lo;
+            hi = tighter_hi ra.hi rb.hi;
+            excl = ra.excl @ rb.excl }
+  in
+  { a_null = a.a_null && b.a_null; a_shape = normalize_shape shape }
+
+(* Join is a convex hull when either side is an interval (exclusions are
+   dropped: over-approximation, hence sound). *)
+let join a b =
+  let shape =
+    if shape_empty a.a_shape then b.a_shape
+    else if shape_empty b.a_shape then a.a_shape
+    else
+      match (a.a_shape, b.a_shape) with
+      | Enum xs, Enum ys -> Enum (List.sort_uniq V.compare (xs @ ys))
+      | sa, sb ->
+          let bounds_of = function
+            | Enum (v :: vs) ->
+                let lo =
+                  List.fold_left (fun m w -> if V.compare w m < 0 then w else m) v vs
+                and hi =
+                  List.fold_left (fun m w -> if V.compare w m > 0 then w else m) v vs
+                in
+                (B (lo, Closed), B (hi, Closed))
+            | Enum [] -> (Pos_inf, Neg_inf)
+            | Range { lo; hi; _ } -> (lo, hi)
+          in
+          let la, ha = bounds_of sa and lb, hb = bounds_of sb in
+          Range { lo = looser_lo la lb; hi = looser_hi ha hb; excl = [] }
+  in
+  { a_null = a.a_null || b.a_null; a_shape = normalize_shape shape }
+
+(* gamma(a) and gamma(b) provably share no value (NULL counts as shared). *)
+let disjoint a b =
+  let m = meet a b in
+  (not m.a_null) && shape_empty m.a_shape
+
+(* ---------------- inclusion ---------------- *)
+
+(* Every value admitted by lower bound [inner] is admitted by [outer]. *)
+let lo_covers outer inner =
+  match (outer, inner) with
+  | Neg_inf, _ | _, Pos_inf -> true
+  | Pos_inf, _ | _, Neg_inf -> false
+  | B (x, kx), B (y, ky) ->
+      let c = V.compare x y in
+      c < 0 || (c = 0 && (kx = Closed || ky = Open))
+
+let hi_covers outer inner =
+  match (outer, inner) with
+  | Pos_inf, _ | _, Neg_inf -> true
+  | Neg_inf, _ | _, Pos_inf -> false
+  | B (x, kx), B (y, ky) ->
+      let c = V.compare x y in
+      c > 0 || (c = 0 && (kx = Closed || ky = Open))
+
+let shape_le sa sb =
+  shape_empty sa
+  ||
+  match (sa, sb) with
+  | Enum xs, _ -> List.for_all (shape_mem sb) xs
+  | Range _, Enum _ ->
+      false (* a non-empty range is a singleton only post-normalization *)
+  | Range ra, Range rb ->
+      lo_covers rb.lo ra.lo && hi_covers rb.hi ra.hi
+      && List.for_all (fun v -> not (shape_mem sa v)) rb.excl
+
+(* gamma(a) subseteq gamma(b)?  Sound: answers [false] when uncertain. *)
+let le a b =
+  is_empty a || ((b.a_null || not a.a_null) && shape_le a.a_shape b.a_shape)
+
+(* ---------------- atom entailment ---------------- *)
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+let sat op v c =
+  let d = V.compare v c in
+  match op with
+  | Lt -> d < 0
+  | Le -> d <= 0
+  | Gt -> d > 0
+  | Ge -> d >= 0
+  | Eq -> d = 0
+  | Ne -> d <> 0
+
+let shape_entails_cmp s op c =
+  match s with
+  | Enum vs -> List.for_all (fun v -> sat op v c) vs
+  | Range { lo; hi; excl } -> (
+      match op with
+      | Lt -> (
+          match hi with
+          | Neg_inf -> true
+          | Pos_inf -> false
+          | B (x, k) ->
+              let d = V.compare x c in
+              d < 0 || (d = 0 && (k = Open || vmem c excl)))
+      | Le -> (
+          match hi with
+          | Neg_inf -> true
+          | Pos_inf -> false
+          | B (x, _) -> V.compare x c <= 0)
+      | Gt -> (
+          match lo with
+          | Pos_inf -> true
+          | Neg_inf -> false
+          | B (x, k) ->
+              let d = V.compare x c in
+              d > 0 || (d = 0 && (k = Open || vmem c excl)))
+      | Ge -> (
+          match lo with
+          | Pos_inf -> true
+          | Neg_inf -> false
+          | B (x, _) -> V.compare x c >= 0)
+      | Eq -> range_empty lo hi (* non-empty ranges collapse to Enum first *)
+      | Ne -> not (shape_mem s c))
+
+(* gamma(a) only contains rows where [col <op> c] evaluates to TRUE.
+   A NULL input never yields TRUE under three-valued logic, so a nullable
+   abstract value entails no comparison (unless gamma is empty outright). *)
+let entails_cmp a op c =
+  is_empty a || ((not a.a_null) && shape_entails_cmp a.a_shape op c)
+
+(* gamma(a) subseteq {NULL}: every non-null value excluded. *)
+let entails_null a = shape_empty a.a_shape
+let entails_not_null a = is_empty a || not a.a_null
+
+(* ---------------- coverage ---------------- *)
+
+(* Do the two abstract values jointly admit *every* value of the column's
+   domain (and NULL when [nullable])?  Only provable for exclusion-free
+   intervals reaching both infinities with no interior gap; discrete
+   adjacency ([..,10] followed by [11,..]) counts as gap-free when the
+   type oracle certifies the domain has no value in between. *)
+let covers_all ?ty ~nullable a b =
+  let null_ok = (not nullable) || a.a_null || b.a_null in
+  let plain = function
+    | Range { lo; hi; excl = [] } when not (range_empty lo hi) -> Some (lo, hi)
+    | _ -> None
+  in
+  null_ok
+  &&
+  match (plain a.a_shape, plain b.a_shape) with
+  | Some (la, ha), Some (lb, hb) ->
+      let no_gap hi lo' =
+        match (hi, lo') with
+        | Pos_inf, _ | _, Neg_inf -> true
+        | Neg_inf, _ | _, Pos_inf -> false
+        | B (x, kx), B (y, ky) ->
+            let c = V.compare y x in
+            if c < 0 then true
+            else if c = 0 then kx = Closed || ky = Closed
+            else (
+              match succ_value ty x with
+              | Some x' -> kx = Closed && ky = Closed && V.compare y x' <= 0
+              | None -> false)
+      in
+      (la = Neg_inf && hb = Pos_inf && no_gap ha lb)
+      || (lb = Neg_inf && ha = Pos_inf && no_gap hb la)
+  | _ -> false

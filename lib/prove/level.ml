@@ -1,0 +1,47 @@
+(* Prover activation levels, following the lib/lint validation-level idiom:
+   ASTQL_PROVE=0/1/2 selects how much static proving runs.
+
+     0 / off      — prover disabled; subsumption and verification fall back
+                    to the pre-prover behavior everywhere.
+     1 / rewrite  — prove at rewrite time: semantic subsumption in the
+                    matcher and per-plan certificates (the default).
+     2 / define   — additionally prove at definition/lint time: V118
+                    dead-predicate detection and the L105 range-overlap
+                    upgrade on CREATE SUMMARY TABLE.
+
+   The level is a process-wide ref seeded from the environment so the CI
+   matrix can run the whole suite at any level without code changes. *)
+
+type t = Off | Rewrite | Define
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "off" | "none" -> Some Off
+  | "1" | "rewrite" | "at-rewrite" -> Some Rewrite
+  | "2" | "define" | "at-define" | "all" -> Some Define
+  | _ -> None
+
+let to_string = function
+  | Off -> "off"
+  | Rewrite -> "rewrite"
+  | Define -> "define"
+
+let default =
+  match Sys.getenv_opt "ASTQL_PROVE" with
+  | None -> Rewrite
+  | Some s -> ( match of_string s with Some l -> l | None -> Rewrite)
+
+let level = ref default
+let current () = !level
+let set l = level := l
+
+(* Proving active at rewrite time (levels 1 and 2). *)
+let rewrite_on () = !level <> Off
+
+(* Proving also active at definition/lint time (level 2 only). *)
+let define_on () = !level = Define
+
+let with_level l f =
+  let old = !level in
+  level := l;
+  Fun.protect ~finally:(fun () -> level := old) f

@@ -115,7 +115,7 @@ let rewrite_check ?(mv_name = "mv0") db ~query ~ast =
     let mv_cols = Array.to_list (R.columns mv_rel) in
     let all_equal =
       List.for_all
-        (fun { Astmatch.Navigator.site_box; site_result } ->
+        (fun { Astmatch.Navigator.site_box; site_result; _ } ->
           let g' =
             Astmatch.Rewrite.apply ~query:qg ~target:site_box
               ~result:site_result ~mv_table:mv_name ~mv_cols

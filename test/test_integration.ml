@@ -73,7 +73,7 @@ let rewrite_sql (c : Workload.Paper_queries.case) =
   let ag = build cat c.ast in
   match Astmatch.Navigator.find_matches cat ~query:qg ~ast:ag with
   | [] -> None
-  | { Astmatch.Navigator.site_box; site_result } :: _ ->
+  | { Astmatch.Navigator.site_box; site_result; _ } :: _ ->
       let mv_cols =
         Qgm.Box.output_cols (Qgm.Graph.box ag (Qgm.Graph.root ag))
       in

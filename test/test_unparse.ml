@@ -106,7 +106,7 @@ let test_rewritten_graphs_roundtrip () =
         let sites = Astmatch.Navigator.find_matches cat2 ~query:qg ~ast:ag in
         match sites with
         | [] -> Alcotest.fail (c.name ^ ": expected a match")
-        | { Astmatch.Navigator.site_box; site_result } :: _ ->
+        | { Astmatch.Navigator.site_box; site_result; _ } :: _ ->
             let g' =
               Astmatch.Rewrite.apply ~query:qg ~target:site_box
                 ~result:site_result ~mv_table:c.ast_name
